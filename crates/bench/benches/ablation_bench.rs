@@ -1,0 +1,208 @@
+//! Ablation microbenchmarks (A5–A8 in DESIGN.md): how the measured costs
+//! of the real code move with the design parameters the cost model treats
+//! as constants. These bound the sensitivity of the figure reproductions
+//! to our calibration choices.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpdk_sim::{spsc_ring, Mbuf};
+use openflow::{Action, FlowMatch, PortNo};
+use ovs_dp::emc::Emc;
+use ovs_dp::pmd::Datapath;
+use ovs_dp::port::OvsPort;
+use ovs_dp::table::FlowTable;
+use packet_wire::{FlowKey, PacketBuilder};
+use shmem_sim::channel;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A5: does ring depth change per-op cost? (The cost model assumes not;
+/// the paper's dpdkr rings and our bypass rings are 1024 deep.)
+fn bench_ring_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A5-ring-depth");
+    g.throughput(Throughput::Elements(1));
+    for depth in [64usize, 1024, 4096] {
+        g.bench_function(format!("enq_deq_depth_{depth}"), |b| {
+            let (mut p, mut cns) = spsc_ring::<u64>(depth);
+            b.iter(|| {
+                p.enqueue(black_box(7)).unwrap();
+                black_box(cns.dequeue().unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A6: burst-size amortisation across a full channel (the reason DPDK
+/// dataplanes batch; the knee should appear well before 32).
+fn bench_burst_amortisation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A6-burst");
+    for burst in [1usize, 8, 32, 128] {
+        g.throughput(Throughput::Elements(burst as u64));
+        g.bench_function(format!("channel_burst_{burst}"), |b| {
+            let (mut tx, mut rx) = channel("bench", 4096);
+            let frame = PacketBuilder::udp_probe(64).build();
+            let mut out = Vec::with_capacity(burst);
+            b.iter(|| {
+                let mut batch: Vec<Mbuf> =
+                    (0..burst).map(|_| Mbuf::from_slice(&frame)).collect();
+                tx.send_burst(&mut batch);
+                out.clear();
+                rx.recv_burst(&mut out, burst);
+                black_box(out.len());
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A7: the full per-packet switch crossing (rx→classify→act→tx), with and
+/// without the EMC — the two numbers behind `CostModel::ovs_crossing`.
+fn bench_switch_crossing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A7-switch-crossing");
+    g.throughput(Throughput::Elements(1));
+
+    let build_dp = || {
+        let dp = Datapath::new(false);
+        let (sw1, vm1) = channel("xing1", 4096);
+        let (sw2, vm2) = channel("xing2", 4096);
+        dp.add_port(OvsPort::dpdkr(PortNo(1), "p1", sw1));
+        dp.add_port(OvsPort::dpdkr(PortNo(2), "p2", sw2));
+        dp.table.write().apply(&openflow::FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            100,
+            vec![Action::Output(PortNo(2))],
+        ));
+        (dp, vm1, vm2)
+    };
+
+    g.bench_function("with_emc", |b| {
+        let (dp, mut vm1, mut vm2) = build_dp();
+        let snapshot: Vec<Arc<OvsPort>> = dp.ports.read().values().cloned().collect();
+        let mut emc = Emc::new(8192);
+        let frame = PacketBuilder::udp_probe(64).build();
+        let mut staged = BTreeMap::new();
+        b.iter(|| {
+            vm1.send(Mbuf::from_slice(&frame)).unwrap();
+            let mut rx = Vec::with_capacity(1);
+            snapshot[0].rx_burst(&mut rx, 1);
+            for pkt in rx {
+                dp.process_packet(pkt, PortNo(1), Some(&mut emc), &mut staged, &snapshot, 0);
+            }
+            dp.flush_staged(&mut staged);
+            black_box(vm2.recv());
+        });
+    });
+
+    g.bench_function("classifier_only", |b| {
+        let (dp, mut vm1, mut vm2) = build_dp();
+        let snapshot: Vec<Arc<OvsPort>> = dp.ports.read().values().cloned().collect();
+        let frame = PacketBuilder::udp_probe(64).build();
+        let mut staged = BTreeMap::new();
+        b.iter(|| {
+            vm1.send(Mbuf::from_slice(&frame)).unwrap();
+            let mut rx = Vec::with_capacity(1);
+            snapshot[0].rx_burst(&mut rx, 1);
+            for pkt in rx {
+                dp.process_packet(pkt, PortNo(1), None, &mut staged, &snapshot, 0);
+            }
+            dp.flush_staged(&mut staged);
+            black_box(vm2.recv());
+        });
+    });
+    g.finish();
+}
+
+/// A8: detector worst cases — the veto scan is O(rules²) in the worst
+/// case; confirm a controller-scale table stays comfortably sub-flow_mod.
+fn bench_detector_worst_case(c: &mut Criterion) {
+    use highway_core::detect_p2p_links;
+    use ovs_dp::RuleSnapshot;
+
+    let mut g = c.benchmark_group("A8-detector");
+    // All-veto table: every rule shares in_port 1 (nothing detectable).
+    for n in [64usize, 256] {
+        let rules: Vec<RuleSnapshot> = (0..n as u16)
+            .map(|i| {
+                let mut m = FlowMatch::in_port(PortNo(1));
+                m.l4_dst = Some(i);
+                RuleSnapshot {
+                    id: u64::from(i),
+                    fmatch: m,
+                    priority: 100,
+                    actions: vec![Action::Output(PortNo(2))],
+                    cookie: u64::from(i),
+                }
+            })
+            .collect();
+        g.bench_function(format!("all_veto_{n}_rules"), |b| {
+            b.iter(|| black_box(detect_p2p_links(black_box(&rules))));
+        });
+    }
+
+    // EMC thrash: alternate keys past capacity so every lookup misses.
+    g.bench_function("emc_miss_then_insert", |b| {
+        use ovs_dp::table::RuleEntry;
+        use std::sync::atomic::AtomicU64;
+        let rule = Arc::new(RuleEntry {
+            id: 1,
+            fmatch: FlowMatch::in_port(PortNo(1)).canonicalise(),
+            priority: 100,
+            actions: vec![Action::Output(PortNo(2))],
+            cookie: 1,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            added_at: 0,
+            last_used: AtomicU64::new(0),
+            n_packets: AtomicU64::new(0),
+            n_bytes: AtomicU64::new(0),
+        });
+        let keys: Vec<FlowKey> = (0..512u16)
+            .map(|i| {
+                FlowKey::extract(&PacketBuilder::udp_probe(64).ports(i, 80).build())
+            })
+            .collect();
+        let mut emc = Emc::new(64); // much smaller than the key set
+        let mut i = 0usize;
+        b.iter(|| {
+            let key = &keys[i % keys.len()];
+            i += 1;
+            if emc.lookup(PortNo(1), key, 0).is_none() {
+                emc.insert(PortNo(1), *key, Arc::clone(&rule), 0);
+            }
+        });
+    });
+
+    // Flow-table churn at scale: install into a 256-rule table.
+    g.bench_function("flow_mod_into_256_rule_table", |b| {
+        let mut table = FlowTable::new();
+        for i in 0..256u16 {
+            let mut m = FlowMatch::in_port(PortNo(i + 10));
+            m.l4_dst = Some(i);
+            table.apply(&openflow::FlowMod::add(
+                m,
+                100,
+                vec![Action::Output(PortNo(2))],
+            ));
+        }
+        b.iter(|| {
+            table.apply(&openflow::FlowMod::add(
+                FlowMatch::in_port(PortNo(1)),
+                100,
+                vec![Action::Output(PortNo(2))],
+            ));
+            table.apply(&openflow::FlowMod::delete_strict(
+                FlowMatch::in_port(PortNo(1)),
+                100,
+            ));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = ablation;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(400)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_ring_depth, bench_burst_amortisation, bench_switch_crossing, bench_detector_worst_case
+);
+criterion_main!(ablation);

@@ -1,0 +1,62 @@
+//! Figure regeneration as Criterion benchmarks.
+//!
+//! `cargo bench` therefore covers every table and figure: each bench
+//! evaluates one experiment's full series (and asserts its published shape
+//! as a side effect — a regression here means the reproduction no longer
+//! matches the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{fig3a, fig3b, latency_vs_chain, setup_time_model, CostModel};
+use std::hint::black_box;
+
+fn bench_fig3a(c: &mut Criterion) {
+    let cost = CostModel::paper_testbed();
+    c.bench_function("fig3a_series", |b| {
+        b.iter(|| {
+            let rows = fig3a(black_box(&cost));
+            assert!(rows.last().unwrap().speedup() > 4.0);
+            black_box(rows)
+        });
+    });
+}
+
+fn bench_fig3b(c: &mut Criterion) {
+    let cost = CostModel::paper_testbed();
+    c.bench_function("fig3b_series", |b| {
+        b.iter(|| {
+            let rows = fig3b(black_box(&cost));
+            assert!((rows[0].traditional - rows[0].highway).abs() < 1e-6);
+            black_box(rows)
+        });
+    });
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let cost = CostModel::paper_testbed();
+    c.bench_function("latency_series", |b| {
+        b.iter(|| {
+            let rows = latency_vs_chain(black_box(&cost));
+            let last = rows.last().unwrap();
+            let improvement = 1.0 - last.highway / last.traditional;
+            assert!(improvement > 0.6);
+            black_box(rows)
+        });
+    });
+}
+
+fn bench_setup_model(c: &mut Criterion) {
+    c.bench_function("setup_time_model", |b| {
+        b.iter(|| {
+            let ms = setup_time_model();
+            assert!((80.0..=120.0).contains(&ms));
+            black_box(ms)
+        });
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(300)).warm_up_time(std::time::Duration::from_millis(100));
+    targets = bench_fig3a, bench_fig3b, bench_latency, bench_setup_model
+);
+criterion_main!(figures);

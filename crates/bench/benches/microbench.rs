@@ -1,0 +1,203 @@
+//! Microbenchmarks of the real dataplane code (M1–M6 in DESIGN.md).
+//!
+//! These measure the per-operation costs the `simnet` cost model quotes in
+//! cycles: compare `time/op × 3 GHz` against `simnet::CostModel` (exact
+//! agreement is not expected — this host is not the testbed Xeon — but the
+//! ordering and rough magnitudes must hold).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dpdk_sim::{spsc_ring, Mbuf};
+use openflow::messages::FlowMod;
+use openflow::{codec, Action, FlowMatch, OfpMessage, PortNo};
+use ovs_dp::classifier::Classifier;
+use ovs_dp::emc::Emc;
+use ovs_dp::table::{FlowTable, RuleEntry};
+use packet_wire::{FlowKey, PacketBuilder};
+use shmem_sim::{channel, StatsRegion};
+use std::hint::black_box;
+use std::sync::Arc;
+use vnf_apps::DpdkrPmd;
+
+/// M1: SPSC ring enqueue+dequeue, single packet and 32-burst.
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("M1-ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("enqueue_dequeue_1", |b| {
+        let (mut p, mut cns) = spsc_ring::<u64>(1024);
+        b.iter(|| {
+            p.enqueue(black_box(7)).unwrap();
+            black_box(cns.dequeue().unwrap());
+        });
+    });
+    g.throughput(Throughput::Elements(32));
+    g.bench_function("burst_32", |b| {
+        let (mut p, mut cns) = spsc_ring::<u64>(1024);
+        let mut out = Vec::with_capacity(32);
+        b.iter(|| {
+            let mut batch: Vec<u64> = (0..32).collect();
+            p.enqueue_burst(&mut batch);
+            out.clear();
+            cns.dequeue_burst(&mut out, 32);
+            black_box(out.len());
+        });
+    });
+    g.finish();
+}
+
+/// M2: flow-key extraction from a 64 B frame.
+fn bench_flow_key(c: &mut Criterion) {
+    let pkt = PacketBuilder::udp_probe(64).build();
+    c.bench_function("M2-flow_key_extract", |b| {
+        b.iter(|| black_box(FlowKey::extract(black_box(&pkt))));
+    });
+}
+
+fn rule(id: u64, fmatch: FlowMatch, out: u16) -> Arc<RuleEntry> {
+    use std::sync::atomic::AtomicU64;
+    Arc::new(RuleEntry {
+        id,
+        fmatch: fmatch.canonicalise(),
+        priority: 100,
+        actions: vec![Action::Output(PortNo(out))],
+        cookie: id,
+        idle_timeout: 0,
+        hard_timeout: 0,
+        added_at: 0,
+        last_used: AtomicU64::new(0),
+        n_packets: AtomicU64::new(0),
+        n_bytes: AtomicU64::new(0),
+    })
+}
+
+/// M3: EMC hit vs classifier lookup (the two-tier datapath).
+fn bench_lookup(c: &mut Criterion) {
+    let pkt = PacketBuilder::udp_probe(64).build();
+    let key = FlowKey::extract(&pkt);
+    let mut g = c.benchmark_group("M3-lookup");
+
+    g.bench_function("emc_hit", |b| {
+        let mut emc = Emc::new(8192);
+        emc.insert(PortNo(1), key, rule(1, FlowMatch::in_port(PortNo(1)), 2), 0);
+        b.iter(|| black_box(emc.lookup(PortNo(1), &key, 0)));
+    });
+
+    for n_masks in [1usize, 8, 32] {
+        g.bench_function(format!("classifier_{n_masks}_subtables"), |b| {
+            let mut cls = Classifier::new();
+            // One matching rule plus (n_masks-1) decoy subtables.
+            cls.insert(&rule(1, FlowMatch::in_port(PortNo(1)), 2));
+            for i in 0..n_masks.saturating_sub(1) {
+                let mut m = FlowMatch::in_port(PortNo(200 + i as u16));
+                m.l4_dst = Some(i as u16); // distinct mask per decoy
+                if i % 2 == 0 {
+                    m.eth_type = Some(0x0800);
+                }
+                let mut m2 = m;
+                m2.l4_src = Some(i as u16);
+                cls.insert(&rule(100 + i as u64, m2, 3));
+            }
+            b.iter(|| black_box(cls.lookup(PortNo(1), &key)));
+        });
+    }
+    g.finish();
+}
+
+/// M4: full flow-table apply path for a flow_mod (includes classifier
+/// maintenance) — what a controller burst costs the switch.
+fn bench_flow_mod(c: &mut Criterion) {
+    c.bench_function("M4-flow_mod_add_delete", |b| {
+        let mut table = FlowTable::new();
+        b.iter_batched(
+            || (),
+            |_| {
+                table.apply(&FlowMod::add(
+                    FlowMatch::in_port(PortNo(1)),
+                    100,
+                    vec![Action::Output(PortNo(2))],
+                ));
+                table.apply(&FlowMod::delete_strict(FlowMatch::in_port(PortNo(1)), 100));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// M5: the modified PMD's tx path — normal channel vs bypass channel with
+/// shared-memory stats accounting (the paper's §2 fast path).
+fn bench_pmd_mux(c: &mut Criterion) {
+    let mut g = c.benchmark_group("M5-pmd-mux");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("tx_normal", |b| {
+        let stats = StatsRegion::new();
+        let (vm_end, mut sw_end) = channel("bench-n", 4096);
+        let mut pmd = DpdkrPmd::new(1, vm_end, stats);
+        let frame = PacketBuilder::udp_probe(64).build();
+        b.iter(|| {
+            let mut v = vec![Mbuf::from_slice(&frame)];
+            pmd.tx_burst(&mut v);
+            black_box(sw_end.recv());
+        });
+    });
+
+    g.bench_function("tx_bypass_with_stats", |b| {
+        let stats = StatsRegion::new();
+        let (vm_end, _sw_end) = channel("bench-b", 4096);
+        let mut pmd = DpdkrPmd::new(1, vm_end, stats);
+        let (here, mut peer) = channel("bench-bypass", 4096);
+        pmd.map_bypass(here);
+        pmd.enable_tx(0xc0de, 2);
+        let frame = PacketBuilder::udp_probe(64).build();
+        b.iter(|| {
+            let mut v = vec![Mbuf::from_slice(&frame)];
+            pmd.tx_burst(&mut v);
+            black_box(peer.recv());
+        });
+    });
+    g.finish();
+}
+
+/// M6: the p-2-p detector over realistic table sizes, and the OF 1.0 codec.
+fn bench_detector_and_codec(c: &mut Criterion) {
+    use highway_core::detect_p2p_links;
+    use ovs_dp::RuleSnapshot;
+
+    let mut g = c.benchmark_group("M6-control");
+    for n_rules in [8usize, 64, 256] {
+        let rules: Vec<RuleSnapshot> = (0..n_rules as u16)
+            .map(|i| RuleSnapshot {
+                id: u64::from(i),
+                fmatch: FlowMatch::in_port(PortNo(i + 1)),
+                priority: 100,
+                actions: vec![Action::Output(PortNo(i + 2))],
+                cookie: u64::from(i),
+            })
+            .collect();
+        g.bench_function(format!("detector_{n_rules}_rules"), |b| {
+            b.iter(|| black_box(detect_p2p_links(black_box(&rules))));
+        });
+    }
+
+    let fm = OfpMessage::FlowMod(
+        FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            100,
+            vec![Action::Output(PortNo(2))],
+        )
+        .with_cookie(7),
+    );
+    g.bench_function("codec_flow_mod_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = codec::encode(black_box(&fm), 1);
+            black_box(codec::decode(&bytes).unwrap());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(400)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_ring, bench_flow_key, bench_lookup, bench_flow_mod, bench_pmd_mux, bench_detector_and_codec
+);
+criterion_main!(micro);

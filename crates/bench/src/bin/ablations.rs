@@ -1,0 +1,77 @@
+//! Ablation sweeps around the published figures: what happens to the
+//! highway's advantage when the workload, the cache, the application or
+//! the switch's core budget moves away from the paper's sweet spot.
+//!
+//! These answer the obvious reviewer questions the 2-page paper had no
+//! room for; DESIGN.md §5 lists them as A1–A4.
+
+use highway_bench::format_sweep;
+use simnet::{
+    cores_for_parity, crossover_point, emc_sweep, frame_size_sweep, pmd_core_scaling,
+    vnf_cost_crossover, CostModel,
+};
+
+fn main() {
+    let cost = CostModel::paper_testbed();
+    const N: usize = 4;
+
+    let rows = frame_size_sweep(N, &cost);
+    println!(
+        "{}",
+        format_sweep(
+            &format!("A1 — frame-size sweep, NIC-edged chain of {N} [model]"),
+            "frame B",
+            &rows
+        )
+    );
+    println!(
+        "shape check: 64 B speedup {:.2}x; 1518 B speedup {:.2}x (wire-bound)\n",
+        rows[0].speedup(),
+        rows.last().unwrap().speedup()
+    );
+
+    let rows = emc_sweep(N, &cost);
+    println!(
+        "{}",
+        format_sweep(
+            &format!("A2 — EMC hit-rate sweep, memory-only chain of {N} [model]"),
+            "EMC hit rate",
+            &rows
+        )
+    );
+    println!(
+        "shape check: gap grows from {:.1}x (EMC perfect) to {:.1}x (EMC useless)\n",
+        rows[0].speedup(),
+        rows.last().unwrap().speedup()
+    );
+
+    let rows = vnf_cost_crossover(N, &cost);
+    println!(
+        "{}",
+        format_sweep(
+            &format!("A3 — VNF cost sweep, memory-only chain of {N} [model]"),
+            "cycles/pkt",
+            &rows
+        )
+    );
+    match crossover_point(&rows, 1.3) {
+        Some(x) => println!(
+            "crossover: the highway's edge shrinks under 1.3x once the app costs {x:.0} cycles/pkt\n"
+        ),
+        None => println!("no crossover within the swept range\n"),
+    }
+
+    let rows = pmd_core_scaling(8, &cost);
+    println!(
+        "{}",
+        format_sweep(
+            "A4 — vanilla PMD-core scaling vs highway, memory chain of 8 [model]",
+            "PMD cores",
+            &rows
+        )
+    );
+    match cores_for_parity(&rows) {
+        Some(c) => println!("parity: vanilla needs {c} switch cores to match the highway\n"),
+        None => println!("parity: not reached even with 8 switch cores\n"),
+    }
+}

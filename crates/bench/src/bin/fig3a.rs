@@ -1,0 +1,26 @@
+//! Figure 3(a): throughput of memory-only VM chains (lengths 2–8),
+//! bidirectional 64 B traffic; first and last VM act as source/sink.
+//!
+//! Paper shape: log-scale axis; the highway sits close to flat while
+//! vanilla OvS-DPDK falls as 1/(N-1) with the chain length.
+
+use highway_bench::format_rows;
+use simnet::{fig3a, CostModel};
+
+fn main() {
+    let rows = fig3a(&CostModel::paper_testbed());
+    println!(
+        "{}",
+        format_rows(
+            "Figure 3(a) — memory-only chains, bidirectional 64 B [model]",
+            "# VMs",
+            &rows
+        )
+    );
+    let last = rows.last().expect("rows");
+    println!(
+        "shape check: traditional falls {:.1}x from N=2 to N=8; highway leads {:.1}x at N=8\n",
+        rows[0].traditional / last.traditional,
+        last.speedup()
+    );
+}

@@ -1,0 +1,22 @@
+//! §3's latency claim: one-way latency vs chain length at 90 % of vanilla
+//! capacity. The paper reports ~80 % improvement for an 8-VM chain.
+
+use highway_bench::format_rows;
+use simnet::{latency_vs_chain, CostModel};
+
+fn main() {
+    let rows = latency_vs_chain(&CostModel::paper_testbed());
+    println!(
+        "{}",
+        format_rows(
+            "Latency — NIC-edged chains at 90% vanilla load [model]",
+            "# VMs",
+            &rows
+        )
+    );
+    let last = rows.last().expect("rows");
+    let improvement = 100.0 * (1.0 - last.highway / last.traditional);
+    println!(
+        "shape check: improvement at 8 VMs = {improvement:.0}% (paper: ~80%)\n"
+    );
+}

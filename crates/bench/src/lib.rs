@@ -1,0 +1,123 @@
+//! # highway-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§3). Binaries:
+//!
+//! | binary            | reproduces                      |
+//! |-------------------|---------------------------------|
+//! | `fig3a`           | Figure 3(a), memory-only chains |
+//! | `fig3b`           | Figure 3(b), NIC-edged chains   |
+//! | `latency`         | §3's ~80 % latency claim        |
+//! | `setup_time`      | §3's ~100 ms setup claim (measured on the real control plane) |
+//! | `all-experiments` | everything above, in one run    |
+//!
+//! Criterion microbenchmarks (`cargo bench -p highway-bench`) measure the
+//! real code's per-operation costs; they calibrate/validate the `simnet`
+//! cost model.
+
+use simnet::FigureRow;
+
+/// Formats a figure's rows as an aligned console table.
+pub fn format_rows(title: &str, xlabel: &str, rows: &[FigureRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    let unit = rows.first().map(|r| r.unit).unwrap_or("");
+    out.push_str(&format!(
+        "| {xlabel} | traditional [{unit}] | highway [{unit}] | speedup |\n"
+    ));
+    out.push_str("|---|---|---|---|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.2} | {:.2} | {:.2}x |\n",
+            r.n_vms,
+            r.traditional,
+            r.highway,
+            r.speedup()
+        ));
+    }
+    out
+}
+
+/// Formats an ablation sweep's rows as an aligned console table.
+pub fn format_sweep(title: &str, xlabel: &str, rows: &[simnet::SweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    let unit = rows.first().map(|r| r.unit).unwrap_or("");
+    out.push_str(&format!(
+        "| {xlabel} | traditional [{unit}] | highway [{unit}] | speedup |\n"
+    ));
+    out.push_str("|---|---|---|---|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.2} | {:.2} | {:.2}x |\n",
+            r.x,
+            r.traditional,
+            r.highway,
+            r.speedup()
+        ));
+    }
+    out
+}
+
+/// Summary statistics of a set of duration samples, in milliseconds.
+pub fn summarize_ms(samples: &[f64]) -> String {
+    if samples.is_empty() {
+        return "no samples".into();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let p = |q: f64| sorted[((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)];
+    format!(
+        "n={} min={:.1}ms p50={:.1}ms mean={:.1}ms p90={:.1}ms max={:.1}ms",
+        sorted.len(),
+        sorted[0],
+        p(0.5),
+        mean,
+        p(0.9),
+        sorted[sorted.len() - 1]
+    )
+}
+
+/// Builds a [`setup-time experiment`] world: a highway node with `paper`
+/// control-plane latencies and two 2-port VMs, started and registered.
+/// Returns (node, port numbers of the middle seam).
+pub fn setup_world() -> (highway_core::HighwayNode, (u32, u32)) {
+    use highway_core::{HighwayNode, HighwayNodeConfig};
+    use vm_host::VnfSpec;
+
+    let node = HighwayNode::new(HighwayNodeConfig::paper_latencies());
+    let vm_a = node.orchestrator().create_vm(VnfSpec::forwarder("vm-a"), 2);
+    let vm_b = node.orchestrator().create_vm(VnfSpec::forwarder("vm-b"), 2);
+    node.register_vm(vm_a.clone());
+    node.register_vm(vm_b.clone());
+    let seam = (vm_a.of_ports()[1], vm_b.of_ports()[0]);
+    node.start();
+    (node, seam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting_is_markdown() {
+        let rows = vec![FigureRow {
+            n_vms: 2,
+            traditional: 1.0,
+            highway: 4.0,
+            unit: "Mpps",
+        }];
+        let s = format_rows("Fig", "# VMs", &rows);
+        assert!(s.contains("| 2 | 1.00 | 4.00 | 4.00x |"));
+        assert!(s.contains("traditional [Mpps]"));
+    }
+
+    #[test]
+    fn summary_orders_percentiles() {
+        let s = summarize_ms(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert!(s.contains("min=1.0ms"));
+        assert!(s.contains("max=5.0ms"));
+        assert!(s.contains("p50=3.0ms"));
+    }
+}

@@ -1,0 +1,208 @@
+//! The p-2-p link detector.
+//!
+//! Analyses the flow table after every flow_mod and decides, per ingress
+//! port, whether its traffic is point-to-point steered. The rule shape it
+//! hunts for (§2 of the paper: "recognizing new point-to-point connections
+//! in traffic steering rules") is taken conservatively:
+//!
+//! A directed p-2-p link `src → dst` exists iff
+//!
+//! 1. exactly **one** rule applies to traffic entering on `src` — i.e. no
+//!    other rule's match covers `in_port = src` (a fully wildcarded match
+//!    covers *every* port and therefore vetoes all links);
+//! 2. that rule matches **only** on the ingress port (every other field
+//!    wildcarded), so *all* of `src`'s traffic is steered;
+//! 3. its action list is exactly `[Output(dst)]` with `dst` a physical
+//!    port different from `src`.
+//!
+//! Conservatism matters: a false positive would silently steal traffic
+//! from the switch (wrong forwarding); a false negative merely loses the
+//! acceleration. Every condition below errs toward false negatives.
+
+use openflow::action::ActionListExt;
+use ovs_dp::RuleSnapshot;
+use std::collections::BTreeMap;
+
+/// A detected directed point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct P2pLink {
+    /// Ingress dpdkr port whose traffic is steered.
+    pub src: u32,
+    /// Destination dpdkr port.
+    pub dst: u32,
+    /// Cookie of the steering rule (stats accounting key).
+    pub cookie: u64,
+}
+
+/// Runs the detector over a rule snapshot. Returns the live links keyed by
+/// source port (a port can have at most one p-2-p link by construction).
+pub fn detect_p2p_links(rules: &[RuleSnapshot]) -> BTreeMap<u32, P2pLink> {
+    let mut links = BTreeMap::new();
+    for rule in rules {
+        // Condition 2: matches only on in_port.
+        let Some(src_port) = rule.fmatch.only_in_port() else {
+            continue;
+        };
+        // Condition 3: single physical output, not hair-pinned.
+        let Some(dst_port) = rule.actions.single_physical_output() else {
+            continue;
+        };
+        if dst_port == src_port {
+            continue;
+        }
+        // Condition 1: no other rule covers this ingress port.
+        let alone = rules
+            .iter()
+            .filter(|r| r.id != rule.id)
+            .all(|r| !r.fmatch.covers_in_port(src_port));
+        if !alone {
+            continue;
+        }
+        links.insert(
+            u32::from(src_port.0),
+            P2pLink {
+                src: u32::from(src_port.0),
+                dst: u32::from(dst_port.0),
+                cookie: rule.cookie,
+            },
+        );
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::{Action, FlowMatch, PortNo};
+
+    fn snap(id: u64, fmatch: FlowMatch, actions: Vec<Action>, cookie: u64) -> RuleSnapshot {
+        RuleSnapshot {
+            id,
+            fmatch,
+            priority: 100,
+            actions,
+            cookie,
+        }
+    }
+
+    fn p2p_rule(id: u64, src: u16, dst: u16) -> RuleSnapshot {
+        snap(
+            id,
+            FlowMatch::in_port(PortNo(src)),
+            vec![Action::Output(PortNo(dst))],
+            id * 10,
+        )
+    }
+
+    #[test]
+    fn detects_a_clean_p2p_rule() {
+        let links = detect_p2p_links(&[p2p_rule(1, 1, 2)]);
+        assert_eq!(links.len(), 1);
+        assert_eq!(
+            links[&1],
+            P2pLink {
+                src: 1,
+                dst: 2,
+                cookie: 10
+            }
+        );
+    }
+
+    #[test]
+    fn detects_chains_and_bidirectional_pairs() {
+        let rules = vec![
+            p2p_rule(1, 1, 2),
+            p2p_rule(2, 2, 1), // reverse
+            p2p_rule(3, 3, 4),
+        ];
+        let links = detect_p2p_links(&rules);
+        assert_eq!(links.len(), 3);
+        assert_eq!(links[&1].dst, 2);
+        assert_eq!(links[&2].dst, 1);
+        assert_eq!(links[&3].dst, 4);
+    }
+
+    #[test]
+    fn narrower_match_is_not_p2p() {
+        let mut m = FlowMatch::in_port(PortNo(1));
+        m.l4_dst = Some(80); // only web traffic steered: not ALL traffic
+        let links = detect_p2p_links(&[snap(1, m, vec![Action::Output(PortNo(2))], 0)]);
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn second_rule_on_same_port_vetoes() {
+        let mut web = FlowMatch::in_port(PortNo(1));
+        web.l4_dst = Some(80);
+        let rules = vec![
+            p2p_rule(1, 1, 2),
+            snap(2, web, vec![Action::Output(PortNo(3))], 0),
+        ];
+        assert!(detect_p2p_links(&rules).is_empty());
+    }
+
+    #[test]
+    fn wildcard_rule_vetoes_every_port() {
+        let rules = vec![
+            p2p_rule(1, 1, 2),
+            p2p_rule(2, 3, 4),
+            snap(3, FlowMatch::any(), vec![Action::Output(PortNo(9))], 0),
+        ];
+        assert!(detect_p2p_links(&rules).is_empty());
+    }
+
+    #[test]
+    fn multi_action_or_reserved_output_is_not_p2p() {
+        let rules = vec![snap(
+            1,
+            FlowMatch::in_port(PortNo(1)),
+            vec![Action::SetIpTos(1), Action::Output(PortNo(2))],
+            0,
+        )];
+        assert!(detect_p2p_links(&rules).is_empty());
+
+        let rules = vec![snap(
+            1,
+            FlowMatch::in_port(PortNo(1)),
+            vec![Action::Output(PortNo::FLOOD)],
+            0,
+        )];
+        assert!(detect_p2p_links(&rules).is_empty());
+
+        let rules = vec![snap(
+            1,
+            FlowMatch::in_port(PortNo(1)),
+            vec![
+                Action::Output(PortNo(2)),
+                Action::Output(PortNo(3)),
+            ],
+            0,
+        )];
+        assert!(detect_p2p_links(&rules).is_empty());
+    }
+
+    #[test]
+    fn hairpin_is_not_p2p() {
+        let rules = vec![p2p_rule(1, 1, 1)];
+        assert!(detect_p2p_links(&rules).is_empty());
+    }
+
+    #[test]
+    fn drop_rule_is_not_p2p() {
+        let rules = vec![snap(1, FlowMatch::in_port(PortNo(1)), vec![], 0)];
+        assert!(detect_p2p_links(&rules).is_empty());
+    }
+
+    #[test]
+    fn unrelated_specific_rules_do_not_veto() {
+        // A rule pinned to a DIFFERENT in_port does not cover port 1.
+        let rules = vec![p2p_rule(1, 1, 2), p2p_rule(2, 5, 6)];
+        let links = detect_p2p_links(&rules);
+        assert_eq!(links.len(), 2);
+    }
+
+    #[test]
+    fn empty_table_has_no_links() {
+        assert!(detect_p2p_links(&[]).is_empty());
+    }
+}

@@ -1,0 +1,614 @@
+//! The highway manager: reconciles detected p-2-p links with actual bypass
+//! channels.
+//!
+//! The detector runs synchronously inside the switch's flow_mod handling
+//! (it must see every table change), but bypass setup takes ~100 ms of
+//! hypervisor work — far too long to block the control loop. The manager
+//! therefore splits the two: the observer callback only updates the
+//! *desired* link set and wakes a worker thread, which serially drives the
+//! compute agent until *actual* matches *desired*. Serial reconciliation
+//! makes rule flapping safe: operations never interleave, and the final
+//! state always reflects the last flow table seen.
+//!
+//! Three inputs shape the desired set:
+//!
+//! 1. the detector's output over the latest rule snapshot;
+//! 2. the switch's port admin state (a link over a down port is vetoed —
+//!    the switch would have dropped that traffic, and a bypass must never
+//!    deliver packets the flow table would not);
+//! 3. the [`AccelerationPolicy`] (port exclusions; setup debounce).
+//!
+//! Every lifecycle step is recorded in the [`EventJournal`].
+
+use crate::detector::{detect_p2p_links, P2pLink};
+use crate::events::{BypassEventKind, EventJournal};
+use crate::policy::AccelerationPolicy;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use ovs_dp::{FlowTableObserver, RuleSnapshot};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vm_host::ComputeAgent;
+
+/// One completed bypass activation, for the setup-time experiment
+/// (paper §3: "on the order of 100 ms").
+#[derive(Debug, Clone, Copy)]
+pub struct SetupRecord {
+    pub link: P2pLink,
+    /// When the detector recognised the link (flow_mod processing time).
+    pub detected_at: Instant,
+    /// When the PMDs started using the bypass channel.
+    pub active_at: Instant,
+}
+
+impl SetupRecord {
+    /// Detection-to-activation latency.
+    pub fn setup_time(&self) -> Duration {
+        self.active_at.duration_since(self.detected_at)
+    }
+}
+
+/// The manager's view of one directed link (observability API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Desired but not yet set up (debouncing or queued behind other work).
+    Pending,
+    /// Carried by a live bypass channel.
+    Active,
+    /// No longer desired; teardown queued or in flight.
+    TearingDown,
+}
+
+#[derive(Default)]
+struct Shared {
+    /// Latest rule snapshot from the switch.
+    last_rules: Vec<RuleSnapshot>,
+    /// Ports currently administratively down on the switch.
+    down_ports: BTreeSet<u32>,
+    /// What table+ports+policy currently imply, stamped with detection time.
+    desired: BTreeMap<u32, (P2pLink, Instant)>,
+    /// Directions actually set up (src → link).
+    actual: BTreeMap<u32, P2pLink>,
+    /// Completed setups.
+    log: Vec<SetupRecord>,
+    /// Setup/teardown failures (agent errors), for observability.
+    failures: Vec<String>,
+}
+
+/// The highway manager. Implements [`FlowTableObserver`]; owns the worker.
+pub struct HighwayManager {
+    agent: Arc<ComputeAgent>,
+    policy: AccelerationPolicy,
+    journal: Arc<EventJournal>,
+    shared: Arc<Mutex<Shared>>,
+    wake: Sender<()>,
+    stop: Arc<AtomicBool>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl HighwayManager {
+    /// Creates the manager with the paper's accelerate-everything policy.
+    pub fn new(agent: Arc<ComputeAgent>) -> Arc<HighwayManager> {
+        HighwayManager::with_policy(agent, AccelerationPolicy::paper())
+    }
+
+    /// Creates the manager with an explicit policy and starts its
+    /// reconciliation worker.
+    pub fn with_policy(
+        agent: Arc<ComputeAgent>,
+        policy: AccelerationPolicy,
+    ) -> Arc<HighwayManager> {
+        let (wake_tx, wake_rx) = bounded::<()>(1);
+        let manager = Arc::new(HighwayManager {
+            agent,
+            policy,
+            journal: Arc::new(EventJournal::new()),
+            shared: Arc::new(Mutex::new(Shared::default())),
+            wake: wake_tx,
+            stop: Arc::new(AtomicBool::new(false)),
+            worker: Mutex::new(None),
+        });
+        let worker = {
+            let manager = Arc::clone(&manager);
+            std::thread::Builder::new()
+                .name("highway-manager".into())
+                .spawn(move || manager.worker_loop(wake_rx))
+                .expect("spawn highway manager")
+        };
+        *manager.worker.lock() = Some(worker);
+        manager
+    }
+
+    fn wake_worker(&self) {
+        let _ = self.wake.try_send(()); // coalesced: one token is enough
+    }
+
+    /// The lifecycle journal.
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.journal
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &AccelerationPolicy {
+        &self.policy
+    }
+
+    /// The links currently carried by bypass channels.
+    pub fn active_links(&self) -> Vec<P2pLink> {
+        self.shared.lock().actual.values().copied().collect()
+    }
+
+    /// Every link the manager knows about, with its state (observability).
+    pub fn snapshot_links(&self) -> Vec<(P2pLink, LinkState)> {
+        let s = self.shared.lock();
+        let mut out = Vec::new();
+        for (src, link) in &s.actual {
+            let state = match s.desired.get(src) {
+                Some((d, _)) if d == link => LinkState::Active,
+                _ => LinkState::TearingDown,
+            };
+            out.push((*link, state));
+        }
+        for (src, (link, _)) in &s.desired {
+            if !s.actual.contains_key(src) {
+                out.push((*link, LinkState::Pending));
+            }
+        }
+        out.sort_by_key(|(l, _)| (l.src, l.dst));
+        out
+    }
+
+    /// Per-link state as the manager sees it, keyed by source port.
+    pub fn link_states(&self) -> BTreeMap<u32, LinkState> {
+        let s = self.shared.lock();
+        let mut out = BTreeMap::new();
+        for (src, link) in &s.actual {
+            let state = match s.desired.get(src) {
+                Some((d, _)) if d == link => LinkState::Active,
+                _ => LinkState::TearingDown,
+            };
+            out.insert(*src, state);
+        }
+        for src in s.desired.keys() {
+            out.entry(*src).or_insert(LinkState::Pending);
+        }
+        out
+    }
+
+    /// Completed setup records (clone).
+    pub fn setup_log(&self) -> Vec<SetupRecord> {
+        self.shared.lock().log.clone()
+    }
+
+    /// Agent errors encountered so far.
+    pub fn failures(&self) -> Vec<String> {
+        self.shared.lock().failures.clone()
+    }
+
+    /// Blocks until the actual link set matches the desired one (or the
+    /// timeout passes). Test/experiment helper.
+    pub fn wait_converged(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let s = self.shared.lock();
+                let desired: BTreeMap<u32, P2pLink> =
+                    s.desired.iter().map(|(k, (l, _))| (*k, *l)).collect();
+                if desired == s.actual {
+                    return true;
+                }
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Recomputes the desired link set from the latest rules, port state
+    /// and policy. Records Detected/Vanished transitions. Caller wakes the
+    /// worker afterwards.
+    fn recompute_desired(&self, s: &mut Shared, now: Instant) {
+        let links = detect_p2p_links(&s.last_rules);
+        let mut new_desired = BTreeMap::new();
+        for (src, link) in links {
+            if !self.policy.allows(link.src, link.dst) {
+                continue;
+            }
+            if s.down_ports.contains(&link.src) || s.down_ports.contains(&link.dst) {
+                continue;
+            }
+            let stamp = match s.desired.get(&src) {
+                Some((old, t)) if *old == link => *t,
+                _ => {
+                    self.journal.record(
+                        BypassEventKind::Detected,
+                        link.src,
+                        link.dst,
+                        format!("cookie {:#x}", link.cookie),
+                    );
+                    now
+                }
+            };
+            new_desired.insert(src, (link, stamp));
+        }
+        for (src, (old, _)) in &s.desired {
+            if new_desired.get(src).map(|(l, _)| l) != Some(old) {
+                self.journal
+                    .record(BypassEventKind::Vanished, old.src, old.dst, "");
+            }
+        }
+        s.desired = new_desired;
+    }
+
+    /// One reconciliation pass; returns true when work was done.
+    fn reconcile_step(&self) -> bool {
+        // Decide one operation under the lock, run it outside the lock
+        // (agent operations sleep for the modelled hypervisor latencies).
+        enum Op {
+            Setup(P2pLink, Instant),
+            Teardown(P2pLink),
+        }
+        let op = {
+            let s = self.shared.lock();
+            let mut op = None;
+            // Teardowns first: frees segments and avoids steering stale
+            // traffic along links the table no longer expresses.
+            for (src, link) in &s.actual {
+                match s.desired.get(src) {
+                    Some((d, _)) if d == link => {}
+                    _ => {
+                        op = Some(Op::Teardown(*link));
+                        break;
+                    }
+                }
+            }
+            if op.is_none() {
+                for (src, (link, detected_at)) in &s.desired {
+                    if s.actual.get(src) == Some(link) {
+                        continue;
+                    }
+                    // Debounce: only set up once the link has been stable
+                    // for the policy's grace period.
+                    if detected_at.elapsed() < self.policy.setup_debounce {
+                        continue;
+                    }
+                    op = Some(Op::Setup(*link, *detected_at));
+                    break;
+                }
+            }
+            op
+        };
+        match op {
+            None => false,
+            Some(Op::Teardown(link)) => {
+                self.journal
+                    .record(BypassEventKind::TeardownStarted, link.src, link.dst, "");
+                match self.agent.teardown_bypass(link.src, link.dst) {
+                    Ok(report) => {
+                        self.shared.lock().actual.remove(&link.src);
+                        self.journal.record(
+                            BypassEventKind::Removed,
+                            link.src,
+                            link.dst,
+                            format!("drained {} in-flight packets", report.drained),
+                        );
+                    }
+                    Err(e) => {
+                        let mut s = self.shared.lock();
+                        s.failures.push(format!("teardown {link:?}: {e}"));
+                        // Drop it from actual anyway: the agent state machine
+                        // rejects unknown directions, so retrying forever
+                        // would spin.
+                        s.actual.remove(&link.src);
+                        drop(s);
+                        self.journal.record(
+                            BypassEventKind::TeardownFailed,
+                            link.src,
+                            link.dst,
+                            e.to_string(),
+                        );
+                    }
+                }
+                true
+            }
+            Some(Op::Setup(link, detected_at)) => {
+                self.journal
+                    .record(BypassEventKind::SetupStarted, link.src, link.dst, "");
+                match self.agent.setup_bypass(link.src, link.dst, link.cookie) {
+                    Ok(report) => {
+                        let mut s = self.shared.lock();
+                        s.actual.insert(link.src, link);
+                        s.log.push(SetupRecord {
+                            link,
+                            detected_at,
+                            active_at: Instant::now(),
+                        });
+                        drop(s);
+                        self.journal.record(
+                            BypassEventKind::Active,
+                            link.src,
+                            link.dst,
+                            report.segment,
+                        );
+                    }
+                    Err(e) => {
+                        let mut s = self.shared.lock();
+                        s.failures.push(format!("setup {link:?}: {e}"));
+                        // Remove the unsatisfiable desire; a future table
+                        // change will re-create it.
+                        s.desired.remove(&link.src);
+                        drop(s);
+                        self.journal.record(
+                            BypassEventKind::SetupFailed,
+                            link.src,
+                            link.dst,
+                            e.to_string(),
+                        );
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn worker_loop(&self, wake: Receiver<()>) {
+        while !self.stop.load(Ordering::Acquire) {
+            if !self.reconcile_step() {
+                // Converged (or debouncing): sleep until the observer wakes
+                // us, or re-check shortly for debounce expiry.
+                let _ = wake.recv_timeout(Duration::from_millis(5));
+            }
+        }
+    }
+
+    /// Stops the worker (idempotent).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.wake_worker();
+        if let Some(t) = self.worker.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl FlowTableObserver for HighwayManager {
+    fn table_changed(&self, rules: &[RuleSnapshot]) {
+        let now = Instant::now();
+        {
+            let mut s = self.shared.lock();
+            s.last_rules = rules.to_vec();
+            self.recompute_desired(&mut s, now);
+        }
+        self.wake_worker();
+    }
+
+    fn ports_changed(&self, down_ports: &[openflow::PortNo]) {
+        let now = Instant::now();
+        {
+            let mut s = self.shared.lock();
+            s.down_ports = down_ports.iter().map(|p| u32::from(p.0)).collect();
+            self.recompute_desired(&mut s, now);
+        }
+        self.wake_worker();
+    }
+}
+
+impl Drop for HighwayManager {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem_sim::{SegmentKind, ShmRegistry, StatsRegion};
+    use std::sync::Arc;
+    use vm_host::{LatencyModel, Vm};
+    use vnf_apps::L2Forwarder;
+
+    /// Agent over two 2-port VMs (ports 1,2 and 3,4), zero latency.
+    fn agent_world() -> (Arc<ComputeAgent>, ShmRegistry, Vec<Arc<Vm>>) {
+        let registry = ShmRegistry::new();
+        let stats = StatsRegion::new();
+        let mut vms = Vec::new();
+        let mut port = 1u32;
+        for name in ["vm0", "vm1"] {
+            let mut vm_ports = Vec::new();
+            for _ in 0..2 {
+                let (vm_end, _sw_end) = registry.create_channel(
+                    format!("dpdkr{port}"),
+                    SegmentKind::DpdkrNormal,
+                    64,
+                );
+                vm_ports.push((port, vm_end));
+                port += 1;
+            }
+            vms.push(Vm::launch(
+                name,
+                vm_ports,
+                Box::new(L2Forwarder::new()),
+                stats.clone(),
+            ));
+        }
+        let agent = Arc::new(ComputeAgent::new(registry.clone(), LatencyModel::zero()));
+        for vm in &vms {
+            agent.register_vm(Arc::clone(vm));
+        }
+        (agent, registry, vms)
+    }
+
+    fn p2p_snapshot(src: u16, dst: u16, cookie: u64) -> RuleSnapshot {
+        RuleSnapshot {
+            id: u64::from(src),
+            fmatch: openflow::FlowMatch::in_port(openflow::PortNo(src)),
+            priority: 100,
+            actions: vec![openflow::Action::Output(openflow::PortNo(dst))],
+            cookie,
+        }
+    }
+
+    #[test]
+    fn link_up_then_down_drives_the_agent() {
+        let (agent, registry, _vms) = agent_world();
+        let manager = HighwayManager::new(Arc::clone(&agent));
+
+        manager.table_changed(&[p2p_snapshot(2, 3, 7)]);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        assert_eq!(manager.active_links().len(), 1);
+        assert_eq!(registry.live_of_kind(SegmentKind::Bypass).len(), 1);
+        assert_eq!(manager.link_states()[&2], LinkState::Active);
+
+        manager.table_changed(&[]);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        assert!(manager.active_links().is_empty());
+        assert_eq!(registry.live_of_kind(SegmentKind::Bypass).len(), 0);
+
+        let log = manager.setup_log();
+        assert_eq!(log.len(), 1);
+        assert!(manager.failures().is_empty());
+
+        // The journal tells the whole story, in order.
+        let kinds: Vec<_> = manager.journal().snapshot().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BypassEventKind::Detected,
+                BypassEventKind::SetupStarted,
+                BypassEventKind::Active,
+                BypassEventKind::Vanished,
+                BypassEventKind::TeardownStarted,
+                BypassEventKind::Removed,
+            ]
+        );
+        manager.shutdown();
+    }
+
+    #[test]
+    fn bidirectional_links_share_one_segment() {
+        let (agent, registry, _vms) = agent_world();
+        let manager = HighwayManager::new(agent);
+        manager.table_changed(&[p2p_snapshot(2, 3, 1), p2p_snapshot(3, 2, 2)]);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        assert_eq!(manager.active_links().len(), 2);
+        assert_eq!(registry.live_of_kind(SegmentKind::Bypass).len(), 1);
+        manager.shutdown();
+    }
+
+    #[test]
+    fn flapping_converges_to_last_state() {
+        let (agent, registry, _vms) = agent_world();
+        let manager = HighwayManager::new(agent);
+        for _ in 0..5 {
+            manager.table_changed(&[p2p_snapshot(2, 3, 1)]);
+            manager.table_changed(&[]);
+        }
+        manager.table_changed(&[p2p_snapshot(2, 3, 1)]);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        assert_eq!(manager.active_links().len(), 1);
+        assert_eq!(registry.live_of_kind(SegmentKind::Bypass).len(), 1);
+        manager.shutdown();
+    }
+
+    #[test]
+    fn cookie_change_resets_the_bypass() {
+        let (agent, _registry, _vms) = agent_world();
+        let manager = HighwayManager::new(agent);
+        manager.table_changed(&[p2p_snapshot(2, 3, 1)]);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        manager.table_changed(&[p2p_snapshot(2, 3, 99)]);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        let links = manager.active_links();
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].cookie, 99);
+        assert_eq!(manager.setup_log().len(), 2);
+        manager.shutdown();
+    }
+
+    #[test]
+    fn unsatisfiable_links_are_logged_not_retried_forever() {
+        let (agent, _registry, _vms) = agent_world();
+        let manager = HighwayManager::new(agent);
+        // Port 99 has no VM: setup must fail gracefully.
+        manager.table_changed(&[p2p_snapshot(2, 99, 1)]);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while manager.failures().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(manager.failures().len(), 1);
+        assert!(manager.active_links().is_empty());
+        assert_eq!(manager.journal().of_kind(BypassEventKind::SetupFailed).len(), 1);
+        manager.shutdown();
+    }
+
+    #[test]
+    fn down_port_vetoes_and_revives_links() {
+        let (agent, registry, _vms) = agent_world();
+        let manager = HighwayManager::new(agent);
+        manager.table_changed(&[p2p_snapshot(2, 3, 1)]);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        assert_eq!(manager.active_links().len(), 1);
+
+        // Port 3 goes down: the bypass must be torn down even though the
+        // flow table still expresses the link.
+        manager.ports_changed(&[openflow::PortNo(3)]);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        assert!(manager.active_links().is_empty());
+        assert_eq!(registry.live_of_kind(SegmentKind::Bypass).len(), 0);
+
+        // Port comes back: the link is re-detected from the cached rules.
+        manager.ports_changed(&[]);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        assert_eq!(manager.active_links().len(), 1);
+        assert_eq!(manager.setup_log().len(), 2);
+        manager.shutdown();
+    }
+
+    #[test]
+    fn excluded_ports_are_never_accelerated() {
+        let (agent, registry, _vms) = agent_world();
+        let manager =
+            HighwayManager::with_policy(agent, AccelerationPolicy::paper().exclude_port(3));
+        manager.table_changed(&[p2p_snapshot(2, 3, 1), p2p_snapshot(3, 2, 2)]);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        assert!(manager.active_links().is_empty());
+        assert_eq!(registry.live_of_kind(SegmentKind::Bypass).len(), 0);
+        assert!(manager.journal().is_empty(), "excluded links are not even Detected");
+        manager.shutdown();
+    }
+
+    #[test]
+    fn debounce_absorbs_flapping() {
+        let (agent, _registry, _vms) = agent_world();
+        let manager = HighwayManager::with_policy(
+            Arc::clone(&agent),
+            AccelerationPolicy::debounced(Duration::from_millis(80)),
+        );
+        // Flap the link rapidly for ~40 ms: the debounce must absorb every
+        // cycle without engaging the agent.
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(40) {
+            manager.table_changed(&[p2p_snapshot(2, 3, 1)]);
+            manager.table_changed(&[]);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        manager.table_changed(&[]);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(manager.setup_log().len(), 0, "no setup during the flap");
+        assert!(manager.journal().of_kind(BypassEventKind::SetupStarted).is_empty());
+
+        // Once stable, the link is accelerated after the grace period.
+        manager.table_changed(&[p2p_snapshot(2, 3, 1)]);
+        assert_eq!(manager.link_states()[&2], LinkState::Pending);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        assert_eq!(manager.active_links().len(), 1);
+        assert_eq!(manager.setup_log().len(), 1);
+        // The recorded setup time includes the debounce by construction.
+        assert!(manager.setup_log()[0].setup_time() >= Duration::from_millis(80));
+        manager.shutdown();
+    }
+}

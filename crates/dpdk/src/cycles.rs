@@ -1,0 +1,65 @@
+//! TSC-style cycle clock.
+//!
+//! The paper's testbed runs a Xeon E5-2690 v2 at 3 GHz; all cycle budgets in
+//! the performance model are quoted against that clock. This module exposes a
+//! monotonic cycle counter derived from `std::time::Instant`, scaled to the
+//! same nominal frequency, so timestamps embedded in probe packets and
+//! latency measurements are directly comparable to the model's numbers.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Nominal CPU frequency of the modelled machine (cycles per second).
+pub const CPU_HZ: u64 = 3_000_000_000;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Current cycle count since process start (monotonic, ~ns resolution).
+pub fn now() -> u64 {
+    let ns = epoch().elapsed().as_nanos() as u64;
+    // cycles = ns * 3 (at exactly 3 GHz), computed without overflow for
+    // process lifetimes of centuries.
+    ns.saturating_mul(CPU_HZ / 1_000_000_000)
+}
+
+/// Converts a cycle delta to wall time at the nominal frequency.
+pub fn to_duration(cycles: u64) -> Duration {
+    Duration::from_nanos(cycles / (CPU_HZ / 1_000_000_000))
+}
+
+/// Converts a wall-time duration to cycles at the nominal frequency.
+pub fn from_duration(d: Duration) -> u64 {
+    (d.as_nanos() as u64).saturating_mul(CPU_HZ / 1_000_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn advances_with_wall_time() {
+        let a = now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = now();
+        // 2 ms at 3 GHz is 6M cycles; allow generous slack for scheduling.
+        assert!(b - a >= 3_000_000, "only {} cycles elapsed", b - a);
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::from_micros(500);
+        let c = from_duration(d);
+        assert_eq!(c, 1_500_000);
+        assert_eq!(to_duration(c), d);
+    }
+}

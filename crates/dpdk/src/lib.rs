@@ -1,0 +1,41 @@
+//! # dpdk-sim
+//!
+//! A faithful, process-local substitute for the slice of DPDK that the paper's
+//! system depends on: packet buffers ([`Mbuf`]) recycled through fixed-size
+//! pools ([`Mempool`]), lock-free rings with DPDK burst semantics
+//! ([`ring`]), a poll-mode device trait ([`EthDev`]) and a TSC-style cycle
+//! clock ([`cycles`]).
+//!
+//! ## Fidelity notes
+//!
+//! * `dpdkr` ports and the paper's bypass channels are *single-producer /
+//!   single-consumer* ring pairs in shared memory. The bespoke
+//!   [`ring::spsc_ring`] reproduces exactly that topology with an ownership-
+//!   typed API (`SpscProducer` / `SpscConsumer` handles), so misuse is a
+//!   compile error rather than a data race.
+//! * Where DPDK offers multi-producer rings (e.g. several PMD threads feeding
+//!   one port) the [`ring::MpmcRing`] wrapper delegates to
+//!   `crossbeam::queue::ArrayQueue`, a proven lock-free MPMC queue, rather
+//!   than re-deriving the rte_ring CAS protocol — same contract, lower risk.
+//! * Mbufs carry the few metadata fields the reproduction needs (input port,
+//!   a 64-bit user scratch word and a timestamp), and return their buffer to
+//!   the owning pool on drop, exactly like `rte_pktmbuf_free`.
+
+pub mod cycles;
+pub mod ethdev;
+pub mod mbuf;
+pub mod mempool;
+pub mod ring;
+
+pub use ethdev::{DevStats, EthDev, LoopbackDev};
+pub use mbuf::Mbuf;
+pub use mempool::{Mempool, MempoolStats};
+pub use ring::{spsc_ring, MpmcRing, RingError, SpscConsumer, SpscProducer};
+
+/// Default mbuf data room, matching DPDK's `RTE_MBUF_DEFAULT_BUF_SIZE` minus
+/// headroom — big enough for a 1500 B MTU frame plus slack.
+pub const DEFAULT_BUF_SIZE: usize = 2048;
+
+/// Default burst size used by PMD loops throughout the reproduction,
+/// matching DPDK's customary `MAX_PKT_BURST`.
+pub const DEFAULT_BURST: usize = 32;

@@ -1,0 +1,268 @@
+//! Packet buffer handles with `rte_mbuf` semantics: headroom for header
+//! prepends, pool recycling on drop, and the metadata words the dataplane
+//! carries alongside packet bytes.
+
+use crate::mempool::MempoolInner;
+use std::sync::Arc;
+
+/// Headroom reserved at the front of every pooled buffer, like
+/// `RTE_PKTMBUF_HEADROOM`.
+pub const MBUF_HEADROOM: usize = 128;
+
+/// Tailroom reserved after the packet in detached mbufs, so consumers can
+/// append trailers the way `rte_pktmbuf_append` users expect. (Pooled mbufs
+/// get whatever their pool's buffer size leaves; real DPDK buffers are a
+/// fixed 2 KiB regardless of packet length, so spare tailroom is the norm.)
+pub const MBUF_TAILROOM: usize = 128;
+
+/// A packet buffer handle.
+///
+/// Owns (exclusively) a byte buffer; when dropped, a pooled mbuf returns its
+/// buffer to the originating [`crate::Mempool`]. Detached mbufs (created via
+/// [`Mbuf::from_vec`]) simply free their memory — convenient for tests.
+pub struct Mbuf {
+    buf: Option<Box<[u8]>>,
+    pool: Option<Arc<MempoolInner>>,
+    data_off: usize,
+    data_len: usize,
+    /// Ingress port as understood by whoever received the packet.
+    pub port: u32,
+    /// Free-use scratch word (DPDK's `udata64`). The traffic generator keeps
+    /// the probe sequence number here for O(1) access.
+    pub udata: u64,
+    /// Cycle timestamp, stamped by generators/NICs for latency probes.
+    pub timestamp: u64,
+}
+
+impl Mbuf {
+    pub(crate) fn from_pool(buf: Box<[u8]>, pool: Arc<MempoolInner>) -> Mbuf {
+        // Small pools (tests) cap the headroom at half the buffer so there
+        // is always usable data room.
+        let data_off = MBUF_HEADROOM.min(buf.len() / 2);
+        Mbuf {
+            buf: Some(buf),
+            pool: Some(pool),
+            data_off,
+            data_len: 0,
+            port: 0,
+            udata: 0,
+            timestamp: 0,
+        }
+    }
+
+    /// Creates a detached (pool-less) mbuf owning `data`, with no headroom.
+    pub fn from_vec(data: Vec<u8>) -> Mbuf {
+        let data_len = data.len();
+        Mbuf {
+            buf: Some(data.into_boxed_slice()),
+            pool: None,
+            data_off: 0,
+            data_len,
+            port: 0,
+            udata: 0,
+            timestamp: 0,
+        }
+    }
+
+    /// Creates a detached mbuf copying `data`, with standard headroom so
+    /// headers can still be prepended and tailroom so trailers can be
+    /// appended.
+    pub fn from_slice(data: &[u8]) -> Mbuf {
+        let mut buf = vec![0u8; MBUF_HEADROOM + data.len() + MBUF_TAILROOM];
+        buf[MBUF_HEADROOM..MBUF_HEADROOM + data.len()].copy_from_slice(data);
+        Mbuf {
+            buf: Some(buf.into_boxed_slice()),
+            pool: None,
+            data_off: MBUF_HEADROOM,
+            data_len: data.len(),
+            port: 0,
+            udata: 0,
+            timestamp: 0,
+        }
+    }
+
+    fn raw(&self) -> &[u8] {
+        self.buf.as_deref().expect("mbuf buffer present until drop")
+    }
+
+    fn raw_mut(&mut self) -> &mut [u8] {
+        self.buf.as_deref_mut().expect("mbuf buffer present until drop")
+    }
+
+    /// Packet bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.raw()[self.data_off..self.data_off + self.data_len]
+    }
+
+    /// Mutable packet bytes.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        let (off, len) = (self.data_off, self.data_len);
+        &mut self.raw_mut()[off..off + len]
+    }
+
+    /// Current packet length.
+    pub fn len(&self) -> usize {
+        self.data_len
+    }
+
+    /// True when the mbuf carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data_len == 0
+    }
+
+    /// Bytes available in front of the packet (for header prepends).
+    pub fn headroom(&self) -> usize {
+        self.data_off
+    }
+
+    /// Bytes available after the packet (for appends).
+    pub fn tailroom(&self) -> usize {
+        self.raw().len() - self.data_off - self.data_len
+    }
+
+    /// Resizes the packet in place (must fit in the tailroom). New bytes are
+    /// whatever the buffer previously held — callers overwrite them.
+    pub fn set_len(&mut self, len: usize) {
+        assert!(
+            self.data_off + len <= self.raw().len(),
+            "mbuf set_len {len} exceeds buffer"
+        );
+        self.data_len = len;
+    }
+
+    /// Extends the packet by `n` bytes at the tail (like `rte_pktmbuf_append`)
+    /// and returns the newly exposed region.
+    pub fn append(&mut self, n: usize) -> &mut [u8] {
+        assert!(n <= self.tailroom(), "mbuf append {n} exceeds tailroom");
+        let start = self.data_off + self.data_len;
+        self.data_len += n;
+        &mut self.raw_mut()[start..start + n]
+    }
+
+    /// Prepends `n` bytes at the head (like `rte_pktmbuf_prepend`) and
+    /// returns the newly exposed region.
+    pub fn prepend(&mut self, n: usize) -> &mut [u8] {
+        assert!(n <= self.data_off, "mbuf prepend {n} exceeds headroom");
+        self.data_off -= n;
+        self.data_len += n;
+        let off = self.data_off;
+        &mut self.raw_mut()[off..off + n]
+    }
+
+    /// Removes `n` bytes from the head (like `rte_pktmbuf_adj`).
+    pub fn adj(&mut self, n: usize) {
+        assert!(n <= self.data_len, "mbuf adj {n} exceeds length");
+        self.data_off += n;
+        self.data_len -= n;
+    }
+
+    /// Removes `n` bytes from the tail (like `rte_pktmbuf_trim`).
+    pub fn trim(&mut self, n: usize) {
+        assert!(n <= self.data_len, "mbuf trim {n} exceeds length");
+        self.data_len -= n;
+    }
+
+    /// Copies the packet bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data().to_vec()
+    }
+
+    /// Deep-copies the packet into a detached mbuf (fresh headroom),
+    /// preserving metadata. Used for multi-output actions (flood), where
+    /// DPDK would clone the mbuf.
+    pub fn duplicate(&self) -> Mbuf {
+        let mut copy = Mbuf::from_slice(self.data());
+        copy.port = self.port;
+        copy.udata = self.udata;
+        copy.timestamp = self.timestamp;
+        copy
+    }
+}
+
+impl Drop for Mbuf {
+    fn drop(&mut self) {
+        if let (Some(buf), Some(pool)) = (self.buf.take(), self.pool.take()) {
+            pool.put_back(buf);
+        }
+    }
+}
+
+impl std::fmt::Debug for Mbuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mbuf")
+            .field("len", &self.data_len)
+            .field("port", &self.port)
+            .field("udata", &self.udata)
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mempool;
+
+    #[test]
+    fn pooled_mbuf_has_headroom_and_recycles() {
+        let pool = Mempool::new("t", 1, 2048);
+        let mut m = pool.alloc().unwrap();
+        assert_eq!(m.headroom(), MBUF_HEADROOM);
+        assert_eq!(m.len(), 0);
+        m.append(64).fill(0xAA);
+        assert_eq!(m.len(), 64);
+        assert_eq!(m.data()[0], 0xAA);
+        drop(m);
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn prepend_and_adj_are_inverses() {
+        let mut m = Mbuf::from_slice(&[1, 2, 3, 4]);
+        m.prepend(2).copy_from_slice(&[9, 9]);
+        assert_eq!(m.data(), &[9, 9, 1, 2, 3, 4]);
+        m.adj(2);
+        assert_eq!(m.data(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trim_shortens_tail() {
+        let mut m = Mbuf::from_vec(vec![1, 2, 3, 4]);
+        m.trim(3);
+        assert_eq!(m.data(), &[1]);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds headroom")]
+    fn prepend_beyond_headroom_panics() {
+        let mut m = Mbuf::from_vec(vec![0u8; 4]); // from_vec has no headroom
+        m.prepend(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tailroom")]
+    fn append_beyond_tailroom_panics() {
+        let pool = Mempool::new("t", 1, 130);
+        let mut m = pool.alloc().unwrap();
+        m.append(1024);
+    }
+
+    #[test]
+    fn metadata_fields_travel_with_the_buffer() {
+        let mut m = Mbuf::from_slice(&[0; 8]);
+        m.port = 7;
+        m.udata = 0xdead_beef;
+        m.timestamp = 42;
+        assert_eq!((m.port, m.udata, m.timestamp), (7, 0xdead_beef, 42));
+    }
+
+    #[test]
+    fn detached_mbuf_does_not_touch_any_pool() {
+        let pool = Mempool::new("t", 1, 64);
+        let before = pool.stats();
+        let m = Mbuf::from_slice(&[1, 2, 3]);
+        drop(m);
+        assert_eq!(pool.stats(), before);
+    }
+}

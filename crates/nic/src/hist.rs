@@ -1,0 +1,186 @@
+//! A log-bucketed latency histogram (HdrHistogram-style, power-of-two
+//! buckets with linear sub-buckets), good enough for p50/p99/p999 over
+//! cycle-denominated latencies without allocation per sample.
+
+/// Latency histogram over u64 cycle values.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// 64 major buckets (by leading zeros) × 16 linear sub-buckets.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+const SUB: usize = 16;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; 64 * SUB],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as usize;
+        let shift = msb.saturating_sub(3); // keep 4 significant bits
+        let major = msb - 3;
+        let sub = ((value >> shift) & 0x7) as usize + 8;
+        ((major * SUB) + sub).min(64 * SUB - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as u64
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate quantile (0.0–1.0) via bucket upper bounds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn bucket_upper(index: usize) -> u64 {
+        let major = index / SUB;
+        let sub = index % SUB;
+        if major == 0 && sub < SUB {
+            return sub as u64;
+        }
+        let msb = major + 3;
+        let shift = msb.saturating_sub(3);
+        let base = (sub as u64 & 0x7) << shift;
+        let high = 1u64 << msb;
+        high | base | ((1u64 << shift) - 1)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5);
+        assert_eq!(h.mean(), 3);
+        assert_eq!(h.quantile(0.5), 3);
+    }
+
+    #[test]
+    fn quantiles_are_order_of_magnitude_accurate() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 100); // 100 .. 1_000_000
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (400_000..=600_000).contains(&p50),
+            "p50 = {p50}, expected ≈ 500_000"
+        );
+        let p99 = h.quantile(0.99);
+        assert!(
+            (900_000..=1_050_000).contains(&p99),
+            "p99 = {p99}, expected ≈ 990_000"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn merge_combines_populations() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 0..100u64 {
+            a.record(10);
+            b.record(1000 + i);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.quantile(0.25) <= 20);
+        assert!(a.quantile(0.9) >= 900);
+    }
+}

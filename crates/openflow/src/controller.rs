@@ -1,0 +1,311 @@
+//! The controller ↔ switch control link.
+//!
+//! Both directions carry *encoded* OF 1.0 bytes (see [`crate::codec`]); the
+//! [`ControllerHandle`] offers typed convenience methods on top, with xid
+//! allocation and synchronous request/reply helpers the tests and examples
+//! use to act as a minimal controller.
+
+use crate::codec::{decode, encode};
+use crate::messages::*;
+use crate::types::PortNo;
+use crate::{Action, FlowMatch, OfError, Result};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+/// The switch's end of the control link: raw encoded frames in and out.
+pub struct SwitchLink {
+    rx: Receiver<Vec<u8>>,
+    tx: Sender<Vec<u8>>,
+}
+
+impl SwitchLink {
+    /// Next message from the controller, if any.
+    pub fn try_recv(&self) -> Option<Result<(OfpMessage, u32)>> {
+        match self.rx.try_recv() {
+            Ok(bytes) => Some(decode(&bytes)),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(OfError::Disconnected)),
+        }
+    }
+
+    /// Sends a message to the controller.
+    pub fn send(&self, msg: &OfpMessage, xid: u32) -> Result<()> {
+        self.tx
+            .send(encode(msg, xid))
+            .map_err(|_| OfError::Disconnected)
+    }
+}
+
+/// The controller's end of the control link.
+pub struct ControllerHandle {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    next_xid: AtomicU32,
+    /// Messages that arrived while waiting for a specific reply.
+    stash: parking_lot::Mutex<Vec<(OfpMessage, u32)>>,
+}
+
+/// Creates a connected controller/switch pair.
+pub fn control_link() -> (ControllerHandle, SwitchLink) {
+    let (ctx, srx) = unbounded();
+    let (stx, crx) = unbounded();
+    (
+        ControllerHandle {
+            tx: ctx,
+            rx: crx,
+            next_xid: AtomicU32::new(1),
+            stash: parking_lot::Mutex::new(Vec::new()),
+        },
+        SwitchLink { rx: srx, tx: stx },
+    )
+}
+
+impl ControllerHandle {
+    fn xid(&self) -> u32 {
+        self.next_xid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends any message, returning the xid used.
+    pub fn send(&self, msg: &OfpMessage) -> Result<u32> {
+        let xid = self.xid();
+        self.tx.send(encode(msg, xid)).map_err(|_| OfError::Disconnected)?;
+        Ok(xid)
+    }
+
+    /// Non-blocking receive of asynchronous messages (packet-in etc.).
+    pub fn try_recv(&self) -> Option<Result<(OfpMessage, u32)>> {
+        if let Some(m) = self.stash.lock().pop() {
+            return Some(Ok(m));
+        }
+        match self.rx.try_recv() {
+            Ok(bytes) => Some(decode(&bytes)),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(OfError::Disconnected)),
+        }
+    }
+
+    /// Waits for the reply carrying `xid`, stashing unrelated messages.
+    pub fn wait_reply(&self, xid: u32, timeout: Duration) -> Result<OfpMessage> {
+        // The reply may already have been stashed by another helper.
+        {
+            let mut stash = self.stash.lock();
+            if let Some(pos) = stash.iter().position(|(_m, x)| *x == xid) {
+                return Ok(stash.remove(pos).0);
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(OfError::Disconnected)?;
+            let bytes = self
+                .rx
+                .recv_timeout(remaining)
+                .map_err(|_| OfError::Disconnected)?;
+            let (msg, got_xid) = decode(&bytes)?;
+            if got_xid == xid {
+                return Ok(msg);
+            }
+            self.stash.lock().push((msg, got_xid));
+        }
+    }
+
+    /// Installs a flow: `Add` with the given match/priority/actions/cookie.
+    pub fn add_flow(
+        &self,
+        fmatch: FlowMatch,
+        priority: u16,
+        actions: Vec<Action>,
+        cookie: u64,
+    ) -> Result<u32> {
+        self.send(&OfpMessage::FlowMod(
+            FlowMod::add(fmatch, priority, actions).with_cookie(cookie),
+        ))
+    }
+
+    /// Strict-deletes a flow.
+    pub fn del_flow_strict(&self, fmatch: FlowMatch, priority: u16) -> Result<u32> {
+        self.send(&OfpMessage::FlowMod(FlowMod::delete_strict(fmatch, priority)))
+    }
+
+    /// Requests statistics for all flows and waits for the reply.
+    pub fn flow_stats(&self, timeout: Duration) -> Result<Vec<FlowStatsEntry>> {
+        let xid = self.send(&OfpMessage::FlowStatsRequest(FlowStatsRequest {
+            fmatch: FlowMatch::any(),
+            out_port: PortNo::NONE,
+        }))?;
+        match self.wait_reply(xid, timeout)? {
+            OfpMessage::FlowStatsReply(entries) => Ok(entries),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Requests statistics for all ports and waits for the reply.
+    pub fn port_stats(&self, timeout: Duration) -> Result<Vec<PortStatsEntry>> {
+        let xid = self.send(&OfpMessage::PortStatsRequest(PortStatsRequest {
+            port_no: PortNo::NONE,
+        }))?;
+        match self.wait_reply(xid, timeout)? {
+            OfpMessage::PortStatsReply(entries) => Ok(entries),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Sends a barrier and waits for it to complete.
+    pub fn barrier(&self, timeout: Duration) -> Result<()> {
+        let xid = self.send(&OfpMessage::BarrierRequest)?;
+        match self.wait_reply(xid, timeout)? {
+            OfpMessage::BarrierReply => Ok(()),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Injects a packet via packet-out.
+    pub fn packet_out(&self, data: Vec<u8>, actions: Vec<Action>) -> Result<u32> {
+        self.send(&OfpMessage::PacketOut(PacketOut {
+            in_port: PortNo::NONE,
+            actions,
+            data,
+        }))
+    }
+
+    /// Administratively brings a port down (or back up) via `port_mod`.
+    pub fn set_port_down(&self, port_no: PortNo, down: bool) -> Result<u32> {
+        self.send(&OfpMessage::PortMod(PortMod { port_no, down }))
+    }
+
+    /// Requests aggregate statistics over rules covered by `fmatch`.
+    pub fn aggregate_stats(
+        &self,
+        fmatch: FlowMatch,
+        timeout: Duration,
+    ) -> Result<AggregateStats> {
+        let xid = self.send(&OfpMessage::AggregateStatsRequest(AggregateStatsRequest {
+            fmatch,
+            out_port: PortNo::NONE,
+        }))?;
+        match self.wait_reply(xid, timeout)? {
+            OfpMessage::AggregateStatsReply(agg) => Ok(agg),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Requests per-table statistics.
+    pub fn table_stats(&self, timeout: Duration) -> Result<Vec<TableStatsEntry>> {
+        let xid = self.send(&OfpMessage::TableStatsRequest)?;
+        match self.wait_reply(xid, timeout)? {
+            OfpMessage::TableStatsReply(entries) => Ok(entries),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Requests the switch description.
+    pub fn desc_stats(&self, timeout: Duration) -> Result<DescStats> {
+        let xid = self.send(&OfpMessage::DescStatsRequest)?;
+        match self.wait_reply(xid, timeout)? {
+            OfpMessage::DescStatsReply(desc) => Ok(desc),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Drains any queued asynchronous [`PortStatus`] notifications,
+    /// stashing unrelated messages for later delivery.
+    pub fn drain_port_status(&self) -> Vec<PortStatus> {
+        let mut out = Vec::new();
+        // Previously stashed PortStatus messages first.
+        {
+            let mut stash = self.stash.lock();
+            stash.retain(|(msg, _xid)| {
+                if let OfpMessage::PortStatus(ps) = msg {
+                    out.push(ps.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // Then whatever sits in the channel (stash non-PortStatus messages
+        // rather than dropping them).
+        while let Ok(bytes) = self.rx.try_recv() {
+            match decode(&bytes) {
+                Ok((OfpMessage::PortStatus(ps), _xid)) => out.push(ps),
+                Ok((msg, xid)) => self.stash.lock().push((msg, xid)),
+                Err(_) => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_and_switch_exchange_encoded_bytes() {
+        let (ctrl, sw) = control_link();
+        let xid = ctrl
+            .add_flow(
+                FlowMatch::in_port(PortNo(1)),
+                100,
+                vec![Action::Output(PortNo(2))],
+                7,
+            )
+            .unwrap();
+        let (msg, got_xid) = sw.try_recv().unwrap().unwrap();
+        assert_eq!(got_xid, xid);
+        match msg {
+            OfpMessage::FlowMod(fm) => {
+                assert_eq!(fm.cookie, 7);
+                assert_eq!(fm.fmatch.only_in_port(), Some(PortNo(1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(sw.try_recv().is_none());
+    }
+
+    #[test]
+    fn wait_reply_skips_unrelated_messages() {
+        let (ctrl, sw) = control_link();
+        let xid = ctrl.send(&OfpMessage::BarrierRequest).unwrap();
+        // Switch sends an async packet-in first, then the barrier reply.
+        sw.send(
+            &OfpMessage::PacketIn(PacketIn {
+                in_port: PortNo(3),
+                reason: PacketInReason::NoMatch,
+                data: vec![1, 2, 3],
+            }),
+            999,
+        )
+        .unwrap();
+        sw.send(&OfpMessage::BarrierReply, xid).unwrap();
+        let reply = ctrl.wait_reply(xid, Duration::from_secs(1)).unwrap();
+        assert_eq!(reply, OfpMessage::BarrierReply);
+        // The stashed packet-in is still deliverable.
+        let (stashed, sxid) = ctrl.try_recv().unwrap().unwrap();
+        assert_eq!(sxid, 999);
+        assert!(matches!(stashed, OfpMessage::PacketIn(_)));
+    }
+
+    #[test]
+    fn disconnect_surfaces() {
+        let (ctrl, sw) = control_link();
+        drop(sw);
+        assert!(matches!(
+            ctrl.send(&OfpMessage::Hello),
+            Err(OfError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn xids_are_unique_and_increasing() {
+        let (ctrl, sw) = control_link();
+        let a = ctrl.send(&OfpMessage::Hello).unwrap();
+        let b = ctrl.send(&OfpMessage::Hello).unwrap();
+        assert!(b > a);
+        let (_m, xa) = sw.try_recv().unwrap().unwrap();
+        let (_m, xb) = sw.try_recv().unwrap().unwrap();
+        assert_eq!((xa, xb), (a, b));
+    }
+}

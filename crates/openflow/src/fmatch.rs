@@ -1,0 +1,360 @@
+//! The OpenFlow 1.0 12-tuple match with per-field wildcards.
+
+use crate::types::PortNo;
+use packet_wire::{FlowKey, MacAddr};
+use std::net::Ipv4Addr;
+
+/// An OpenFlow 1.0 match. `None` means "wildcarded".
+///
+/// IPv4 addresses carry a CIDR prefix length (0–32); `Some((addr, 0))` is
+/// canonicalised to a full wildcard on construction, mirroring the OF 1.0
+/// wildcard bitfield semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FlowMatch {
+    pub in_port: Option<PortNo>,
+    pub eth_src: Option<MacAddr>,
+    pub eth_dst: Option<MacAddr>,
+    pub vlan_id: Option<u16>,
+    pub eth_type: Option<u16>,
+    pub ip_tos: Option<u8>,
+    pub ip_proto: Option<u8>,
+    pub ipv4_src: Option<(Ipv4Addr, u8)>,
+    pub ipv4_dst: Option<(Ipv4Addr, u8)>,
+    pub l4_src: Option<u16>,
+    pub l4_dst: Option<u16>,
+}
+
+fn prefix_mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else if len >= 32 {
+        u32::MAX
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+fn prefix_match(rule: Option<(Ipv4Addr, u8)>, addr: Ipv4Addr) -> bool {
+    match rule {
+        None => true,
+        Some((net, len)) => {
+            let m = prefix_mask(len);
+            u32::from(net) & m == u32::from(addr) & m
+        }
+    }
+}
+
+impl FlowMatch {
+    /// The fully-wildcarded match (matches every packet on every port).
+    pub fn any() -> FlowMatch {
+        FlowMatch::default()
+    }
+
+    /// A match on ingress port only — the shape the p-2-p detector hunts for.
+    pub fn in_port(port: PortNo) -> FlowMatch {
+        FlowMatch {
+            in_port: Some(port),
+            ..FlowMatch::default()
+        }
+    }
+
+    /// Canonicalises zero-length prefixes to full wildcards.
+    pub fn canonicalise(mut self) -> FlowMatch {
+        if matches!(self.ipv4_src, Some((_, 0))) {
+            self.ipv4_src = None;
+        }
+        if matches!(self.ipv4_dst, Some((_, 0))) {
+            self.ipv4_dst = None;
+        }
+        // Mask host bits so equal-meaning matches compare equal.
+        if let Some((a, l)) = self.ipv4_src {
+            self.ipv4_src = Some((Ipv4Addr::from(u32::from(a) & prefix_mask(l)), l));
+        }
+        if let Some((a, l)) = self.ipv4_dst {
+            self.ipv4_dst = Some((Ipv4Addr::from(u32::from(a) & prefix_mask(l)), l));
+        }
+        self
+    }
+
+    /// Does this match cover a packet with `key` arriving on `port`?
+    pub fn matches(&self, port: PortNo, key: &FlowKey) -> bool {
+        if let Some(p) = self.in_port {
+            if p != port {
+                return false;
+            }
+        }
+        if let Some(m) = self.eth_src {
+            if m != key.eth_src {
+                return false;
+            }
+        }
+        if let Some(m) = self.eth_dst {
+            if m != key.eth_dst {
+                return false;
+            }
+        }
+        if let Some(v) = self.vlan_id {
+            if v != key.vlan_id {
+                return false;
+            }
+        }
+        if let Some(t) = self.eth_type {
+            if t != key.eth_type {
+                return false;
+            }
+        }
+        if let Some(t) = self.ip_tos {
+            if t != key.ip_tos {
+                return false;
+            }
+        }
+        if let Some(p) = self.ip_proto {
+            if p != key.ip_proto {
+                return false;
+            }
+        }
+        if !prefix_match(self.ipv4_src, key.ipv4_src) {
+            return false;
+        }
+        if !prefix_match(self.ipv4_dst, key.ipv4_dst) {
+            return false;
+        }
+        if let Some(p) = self.l4_src {
+            if p != key.l4_src {
+                return false;
+            }
+        }
+        if let Some(p) = self.l4_dst {
+            if p != key.l4_dst {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when every field is wildcarded.
+    pub fn is_any(&self) -> bool {
+        *self == FlowMatch::default()
+    }
+
+    /// If the match constrains *only* the ingress port, returns it.
+    /// This is the exact condition the p-2-p link detector requires.
+    pub fn only_in_port(&self) -> Option<PortNo> {
+        let p = self.in_port?;
+        let rest_wild = FlowMatch {
+            in_port: None,
+            ..*self
+        }
+        .is_any();
+        rest_wild.then_some(p)
+    }
+
+    /// Does this match reference the given ingress port at all?
+    /// (Either constrained to it, or wildcarded and thus covering it.)
+    pub fn covers_in_port(&self, port: PortNo) -> bool {
+        self.in_port.map(|p| p == port).unwrap_or(true)
+    }
+
+    /// The wildcard *mask* of this match — which fields are set and the
+    /// prefix lengths. Two matches with the same mask live in the same
+    /// classifier subtable.
+    pub fn mask(&self) -> MatchMask {
+        MatchMask {
+            in_port: self.in_port.is_some(),
+            eth_src: self.eth_src.is_some(),
+            eth_dst: self.eth_dst.is_some(),
+            vlan_id: self.vlan_id.is_some(),
+            eth_type: self.eth_type.is_some(),
+            ip_tos: self.ip_tos.is_some(),
+            ip_proto: self.ip_proto.is_some(),
+            ipv4_src_len: self.ipv4_src.map(|(_, l)| l).unwrap_or(0),
+            ipv4_dst_len: self.ipv4_dst.map(|(_, l)| l).unwrap_or(0),
+            l4_src: self.l4_src.is_some(),
+            l4_dst: self.l4_dst.is_some(),
+        }
+    }
+
+    /// Projects a concrete packet `(port, key)` onto this mask, producing
+    /// the tuple used as a hash key inside a classifier subtable.
+    pub fn project(mask: &MatchMask, port: PortNo, key: &FlowKey) -> ProjectedKey {
+        ProjectedKey {
+            in_port: mask.in_port.then_some(port),
+            eth_src: mask.eth_src.then_some(key.eth_src),
+            eth_dst: mask.eth_dst.then_some(key.eth_dst),
+            vlan_id: mask.vlan_id.then_some(key.vlan_id),
+            eth_type: mask.eth_type.then_some(key.eth_type),
+            ip_tos: mask.ip_tos.then_some(key.ip_tos),
+            ip_proto: mask.ip_proto.then_some(key.ip_proto),
+            ipv4_src: u32::from(key.ipv4_src) & prefix_mask(mask.ipv4_src_len),
+            ipv4_dst: u32::from(key.ipv4_dst) & prefix_mask(mask.ipv4_dst_len),
+            l4_src: mask.l4_src.then_some(key.l4_src),
+            l4_dst: mask.l4_dst.then_some(key.l4_dst),
+        }
+    }
+
+    /// Projects this rule's own values onto its mask — the subtable hash key
+    /// under which the rule is stored.
+    pub fn own_projection(&self) -> ProjectedKey {
+        let mask = self.mask();
+        ProjectedKey {
+            in_port: self.in_port,
+            eth_src: self.eth_src,
+            eth_dst: self.eth_dst,
+            vlan_id: self.vlan_id,
+            eth_type: self.eth_type,
+            ip_tos: self.ip_tos,
+            ip_proto: self.ip_proto,
+            ipv4_src: self
+                .ipv4_src
+                .map(|(a, l)| u32::from(a) & prefix_mask(l))
+                .unwrap_or(0),
+            ipv4_dst: self
+                .ipv4_dst
+                .map(|(a, l)| u32::from(a) & prefix_mask(l))
+                .unwrap_or(0),
+            l4_src: self.l4_src,
+            l4_dst: self.l4_dst,
+        }
+        .normalise(&mask)
+    }
+}
+
+/// Which fields a match constrains (prefix lengths for IPv4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatchMask {
+    pub in_port: bool,
+    pub eth_src: bool,
+    pub eth_dst: bool,
+    pub vlan_id: bool,
+    pub eth_type: bool,
+    pub ip_tos: bool,
+    pub ip_proto: bool,
+    pub ipv4_src_len: u8,
+    pub ipv4_dst_len: u8,
+    pub l4_src: bool,
+    pub l4_dst: bool,
+}
+
+/// A packet (or rule) projected onto a [`MatchMask`]; hashable subtable key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProjectedKey {
+    pub in_port: Option<PortNo>,
+    pub eth_src: Option<MacAddr>,
+    pub eth_dst: Option<MacAddr>,
+    pub vlan_id: Option<u16>,
+    pub eth_type: Option<u16>,
+    pub ip_tos: Option<u8>,
+    pub ip_proto: Option<u8>,
+    pub ipv4_src: u32,
+    pub ipv4_dst: u32,
+    pub l4_src: Option<u16>,
+    pub l4_dst: Option<u16>,
+}
+
+impl ProjectedKey {
+    fn normalise(mut self, mask: &MatchMask) -> ProjectedKey {
+        if !mask.in_port {
+            self.in_port = None;
+        }
+        if !mask.l4_src {
+            self.l4_src = None;
+        }
+        if !mask.l4_dst {
+            self.l4_dst = None;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet_wire::PacketBuilder;
+
+    fn key() -> FlowKey {
+        FlowKey::extract(
+            &PacketBuilder::udp_probe(64)
+                .eth(MacAddr::local(1), MacAddr::local(2))
+                .ip(Ipv4Addr::new(10, 1, 2, 3), Ipv4Addr::new(10, 9, 9, 9))
+                .ports(100, 200)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(FlowMatch::any().matches(PortNo(1), &key()));
+        assert!(FlowMatch::any().matches(PortNo(9), &FlowKey::default()));
+    }
+
+    #[test]
+    fn in_port_only() {
+        let m = FlowMatch::in_port(PortNo(3));
+        assert!(m.matches(PortNo(3), &key()));
+        assert!(!m.matches(PortNo(4), &key()));
+        assert_eq!(m.only_in_port(), Some(PortNo(3)));
+        assert_eq!(FlowMatch::any().only_in_port(), None);
+
+        let mut narrowed = m;
+        narrowed.l4_dst = Some(200);
+        assert_eq!(narrowed.only_in_port(), None);
+    }
+
+    #[test]
+    fn cidr_prefixes() {
+        let mut m = FlowMatch::any();
+        m.ipv4_src = Some((Ipv4Addr::new(10, 1, 0, 0), 16));
+        assert!(m.matches(PortNo(1), &key()));
+        m.ipv4_src = Some((Ipv4Addr::new(10, 2, 0, 0), 16));
+        assert!(!m.matches(PortNo(1), &key()));
+        m.ipv4_src = Some((Ipv4Addr::new(0, 0, 0, 0), 0));
+        assert!(m.canonicalise().matches(PortNo(1), &key()));
+    }
+
+    #[test]
+    fn canonicalise_masks_host_bits() {
+        let mut a = FlowMatch::any();
+        a.ipv4_dst = Some((Ipv4Addr::new(10, 9, 9, 9), 16));
+        let mut b = FlowMatch::any();
+        b.ipv4_dst = Some((Ipv4Addr::new(10, 9, 0, 0), 16));
+        assert_eq!(a.canonicalise(), b.canonicalise());
+    }
+
+    #[test]
+    fn l4_and_l2_fields() {
+        let mut m = FlowMatch::any();
+        m.eth_dst = Some(MacAddr::local(2));
+        m.l4_dst = Some(200);
+        assert!(m.matches(PortNo(1), &key()));
+        m.l4_dst = Some(201);
+        assert!(!m.matches(PortNo(1), &key()));
+    }
+
+    #[test]
+    fn covers_in_port_includes_wildcard() {
+        assert!(FlowMatch::any().covers_in_port(PortNo(5)));
+        assert!(FlowMatch::in_port(PortNo(5)).covers_in_port(PortNo(5)));
+        assert!(!FlowMatch::in_port(PortNo(6)).covers_in_port(PortNo(5)));
+    }
+
+    #[test]
+    fn projection_agrees_with_matching() {
+        // If a packet matches a rule, its projection under the rule's mask
+        // must equal the rule's own projection — the classifier invariant.
+        let mut rule = FlowMatch::in_port(PortNo(1));
+        rule.ipv4_dst = Some((Ipv4Addr::new(10, 9, 0, 0), 16));
+        rule.l4_dst = Some(200);
+        let rule = rule.canonicalise();
+        let k = key();
+        assert!(rule.matches(PortNo(1), &k));
+        let mask = rule.mask();
+        assert_eq!(FlowMatch::project(&mask, PortNo(1), &k), rule.own_projection());
+        // And a non-matching packet projects to a different key.
+        let mut other = k;
+        other.l4_dst = 999;
+        assert_ne!(
+            FlowMatch::project(&mask, PortNo(1), &other),
+            rule.own_projection()
+        );
+    }
+}

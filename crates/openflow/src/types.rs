@@ -1,0 +1,79 @@
+//! Core OpenFlow scalar types.
+
+/// An OpenFlow 1.0 port number (16-bit), including the reserved values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortNo(pub u16);
+
+impl PortNo {
+    /// Highest number usable for a physical/virtual port.
+    pub const MAX: PortNo = PortNo(0xff00);
+    /// Send the packet back out its ingress port.
+    pub const IN_PORT: PortNo = PortNo(0xfff8);
+    /// Submit to the flow table (packet-out only).
+    pub const TABLE: PortNo = PortNo(0xfff9);
+    /// Legacy L2 learning path (unused by the reproduction, parsed anyway).
+    pub const NORMAL: PortNo = PortNo(0xfffa);
+    /// All ports except ingress and those with flooding disabled.
+    pub const FLOOD: PortNo = PortNo(0xfffb);
+    /// All ports except ingress.
+    pub const ALL: PortNo = PortNo(0xfffc);
+    /// Encapsulate and send to the controller.
+    pub const CONTROLLER: PortNo = PortNo(0xfffd);
+    /// The switch's local networking stack.
+    pub const LOCAL: PortNo = PortNo(0xfffe);
+    /// Wildcard / "no port" in requests.
+    pub const NONE: PortNo = PortNo(0xffff);
+
+    /// True for a concrete (non-reserved) port number.
+    pub fn is_physical(self) -> bool {
+        self.0 > 0 && self <= Self::MAX
+    }
+
+    /// Raw wire value.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PortNo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PortNo::IN_PORT => write!(f, "IN_PORT"),
+            PortNo::TABLE => write!(f, "TABLE"),
+            PortNo::NORMAL => write!(f, "NORMAL"),
+            PortNo::FLOOD => write!(f, "FLOOD"),
+            PortNo::ALL => write!(f, "ALL"),
+            PortNo::CONTROLLER => write!(f, "CONTROLLER"),
+            PortNo::LOCAL => write!(f, "LOCAL"),
+            PortNo::NONE => write!(f, "NONE"),
+            PortNo(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<u16> for PortNo {
+    fn from(v: u16) -> Self {
+        PortNo(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_classification() {
+        assert!(PortNo(1).is_physical());
+        assert!(PortNo::MAX.is_physical());
+        assert!(!PortNo(0).is_physical());
+        assert!(!PortNo::FLOOD.is_physical());
+        assert!(!PortNo::CONTROLLER.is_physical());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PortNo(3).to_string(), "3");
+        assert_eq!(PortNo::FLOOD.to_string(), "FLOOD");
+        assert_eq!(PortNo::CONTROLLER.to_string(), "CONTROLLER");
+    }
+}

@@ -1,0 +1,210 @@
+//! Tuple-space classifier (OVS `dpcls`).
+//!
+//! Rules are grouped into *subtables* by wildcard mask; within a subtable a
+//! packet projected onto the mask is an exact hash key. A lookup probes each
+//! subtable once, keeping the best-priority hit — O(#masks) instead of
+//! O(#rules), which is why real service graphs with thousands of rules but a
+//! handful of distinct masks classify quickly.
+
+use crate::table::RuleEntry;
+use openflow::fmatch::{FlowMatch, MatchMask, ProjectedKey};
+use openflow::PortNo;
+use packet_wire::FlowKey;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Subtable {
+    mask: MatchMask,
+    /// Projected rule key → rules with that projection, best priority first.
+    entries: HashMap<ProjectedKey, Vec<Arc<RuleEntry>>>,
+    len: usize,
+}
+
+/// The classifier index over a flow table's rules.
+pub struct Classifier {
+    subtables: Vec<Subtable>,
+}
+
+impl Default for Classifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier {
+    /// Creates an empty classifier.
+    pub fn new() -> Classifier {
+        Classifier {
+            subtables: Vec::new(),
+        }
+    }
+
+    /// Number of distinct masks (subtables).
+    pub fn subtable_count(&self) -> usize {
+        self.subtables.len()
+    }
+
+    /// Indexes a rule.
+    pub fn insert(&mut self, rule: &Arc<RuleEntry>) {
+        let mask = rule.fmatch.mask();
+        let sub = match self.subtables.iter_mut().find(|s| s.mask == mask) {
+            Some(s) => s,
+            None => {
+                self.subtables.push(Subtable {
+                    mask,
+                    entries: HashMap::new(),
+                    len: 0,
+                });
+                self.subtables.last_mut().expect("just pushed")
+            }
+        };
+        let bucket = sub.entries.entry(rule.fmatch.own_projection()).or_default();
+        // Keep best priority first; stable for equal priorities (insertion
+        // order ⇒ lower id first because ids are monotonic).
+        let pos = bucket
+            .iter()
+            .position(|r| r.priority < rule.priority)
+            .unwrap_or(bucket.len());
+        bucket.insert(pos, Arc::clone(rule));
+        sub.len += 1;
+    }
+
+    /// Unindexes a rule (by id).
+    pub fn remove(&mut self, rule: &Arc<RuleEntry>) {
+        let mask = rule.fmatch.mask();
+        if let Some(idx) = self.subtables.iter().position(|s| s.mask == mask) {
+            let sub = &mut self.subtables[idx];
+            let proj = rule.fmatch.own_projection();
+            if let Some(bucket) = sub.entries.get_mut(&proj) {
+                if let Some(pos) = bucket.iter().position(|r| r.id == rule.id) {
+                    bucket.remove(pos);
+                    sub.len -= 1;
+                }
+                if bucket.is_empty() {
+                    sub.entries.remove(&proj);
+                }
+            }
+            if sub.entries.is_empty() {
+                self.subtables.swap_remove(idx);
+            }
+        }
+    }
+
+    /// Best-priority rule matching `(port, key)`; ties broken by lowest id.
+    pub fn lookup(&self, port: PortNo, key: &FlowKey) -> Option<Arc<RuleEntry>> {
+        let mut best: Option<&Arc<RuleEntry>> = None;
+        for sub in &self.subtables {
+            let proj = FlowMatch::project(&sub.mask, port, key);
+            if let Some(bucket) = sub.entries.get(&proj) {
+                if let Some(candidate) = bucket.first() {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            candidate.priority > b.priority
+                                || (candidate.priority == b.priority && candidate.id < b.id)
+                        }
+                    };
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+            }
+        }
+        best.cloned()
+    }
+}
+
+impl std::fmt::Debug for Classifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Classifier")
+            .field("subtables", &self.subtables.len())
+            .field(
+                "rules",
+                &self.subtables.iter().map(|s| s.len).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::Action;
+    use packet_wire::PacketBuilder;
+    use std::sync::atomic::AtomicU64;
+
+    fn rule(id: u64, fmatch: FlowMatch, priority: u16, out: u16) -> Arc<RuleEntry> {
+        Arc::new(RuleEntry {
+            id,
+            fmatch: fmatch.canonicalise(),
+            priority,
+            actions: vec![Action::Output(PortNo(out))],
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            added_at: 0,
+            last_used: AtomicU64::new(0),
+            n_packets: AtomicU64::new(0),
+            n_bytes: AtomicU64::new(0),
+        })
+    }
+
+    fn key() -> FlowKey {
+        FlowKey::extract(&PacketBuilder::udp_probe(64).ports(5, 80).build())
+    }
+
+    #[test]
+    fn same_mask_rules_share_a_subtable() {
+        let mut c = Classifier::new();
+        c.insert(&rule(1, FlowMatch::in_port(PortNo(1)), 10, 2));
+        c.insert(&rule(2, FlowMatch::in_port(PortNo(2)), 10, 3));
+        assert_eq!(c.subtable_count(), 1);
+        let mut m = FlowMatch::in_port(PortNo(1));
+        m.l4_dst = Some(80);
+        c.insert(&rule(3, m, 20, 4));
+        assert_eq!(c.subtable_count(), 2);
+    }
+
+    #[test]
+    fn priority_wins_across_subtables() {
+        let mut c = Classifier::new();
+        c.insert(&rule(1, FlowMatch::any(), 1, 9));
+        let mut m = FlowMatch::any();
+        m.l4_dst = Some(80);
+        c.insert(&rule(2, m, 50, 2));
+        let hit = c.lookup(PortNo(7), &key()).unwrap();
+        assert_eq!(hit.id, 2);
+
+        let mut other = key();
+        other.l4_dst = 81;
+        let hit = c.lookup(PortNo(7), &other).unwrap();
+        assert_eq!(hit.id, 1);
+    }
+
+    #[test]
+    fn equal_priority_breaks_ties_by_id() {
+        let mut c = Classifier::new();
+        c.insert(&rule(5, FlowMatch::any(), 10, 1));
+        c.insert(&rule(3, FlowMatch::in_port(PortNo(1)), 10, 2));
+        let hit = c.lookup(PortNo(1), &key()).unwrap();
+        assert_eq!(hit.id, 3);
+    }
+
+    #[test]
+    fn remove_cleans_empty_subtables() {
+        let mut c = Classifier::new();
+        let r = rule(1, FlowMatch::in_port(PortNo(1)), 10, 2);
+        c.insert(&r);
+        assert_eq!(c.subtable_count(), 1);
+        c.remove(&r);
+        assert_eq!(c.subtable_count(), 0);
+        assert!(c.lookup(PortNo(1), &key()).is_none());
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let mut c = Classifier::new();
+        c.insert(&rule(1, FlowMatch::in_port(PortNo(3)), 10, 2));
+        assert!(c.lookup(PortNo(4), &key()).is_none());
+    }
+}

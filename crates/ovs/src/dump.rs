@@ -1,0 +1,179 @@
+//! `ovs-ofctl dump-flows`-style textual rendering of the flow table and
+//! ports — the operator-facing view of the switch, handy in examples and
+//! when debugging steering rules.
+
+use crate::pmd::Datapath;
+use crate::table::RuleEntry;
+use openflow::{Action, PortNo};
+
+fn fmt_match(rule: &RuleEntry) -> String {
+    let m = &rule.fmatch;
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(p) = m.in_port {
+        parts.push(format!("in_port={p}"));
+    }
+    if let Some(mac) = m.eth_src {
+        parts.push(format!("dl_src={mac}"));
+    }
+    if let Some(mac) = m.eth_dst {
+        parts.push(format!("dl_dst={mac}"));
+    }
+    if let Some(v) = m.vlan_id {
+        parts.push(format!("dl_vlan={v}"));
+    }
+    if let Some(t) = m.eth_type {
+        parts.push(format!("dl_type=0x{t:04x}"));
+    }
+    if let Some(t) = m.ip_tos {
+        parts.push(format!("nw_tos={t}"));
+    }
+    if let Some(p) = m.ip_proto {
+        parts.push(format!("nw_proto={p}"));
+    }
+    if let Some((a, l)) = m.ipv4_src {
+        parts.push(format!("nw_src={a}/{l}"));
+    }
+    if let Some((a, l)) = m.ipv4_dst {
+        parts.push(format!("nw_dst={a}/{l}"));
+    }
+    if let Some(p) = m.l4_src {
+        parts.push(format!("tp_src={p}"));
+    }
+    if let Some(p) = m.l4_dst {
+        parts.push(format!("tp_dst={p}"));
+    }
+    if parts.is_empty() {
+        "*".into()
+    } else {
+        parts.join(",")
+    }
+}
+
+fn fmt_actions(actions: &[Action]) -> String {
+    if actions.is_empty() {
+        return "drop".into();
+    }
+    actions
+        .iter()
+        .map(|a| match a {
+            Action::Output(PortNo(p)) => match PortNo(*p) {
+                PortNo::FLOOD => "FLOOD".into(),
+                PortNo::ALL => "ALL".into(),
+                PortNo::CONTROLLER => "CONTROLLER".into(),
+                PortNo::IN_PORT => "IN_PORT".into(),
+                PortNo(n) => format!("output:{n}"),
+            },
+            Action::SetVlanId(v) => format!("mod_vlan_vid:{v}"),
+            Action::StripVlan => "strip_vlan".into(),
+            Action::SetEthSrc(m) => format!("mod_dl_src:{m}"),
+            Action::SetEthDst(m) => format!("mod_dl_dst:{m}"),
+            Action::SetIpv4Src(a) => format!("mod_nw_src:{a}"),
+            Action::SetIpv4Dst(a) => format!("mod_nw_dst:{a}"),
+            Action::SetIpTos(t) => format!("mod_nw_tos:{t}"),
+            Action::SetL4Src(p) => format!("mod_tp_src:{p}"),
+            Action::SetL4Dst(p) => format!("mod_tp_dst:{p}"),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders the flow table like `ovs-ofctl dump-flows`, one rule per line,
+/// highest priority first (ties by id).
+pub fn dump_flows(dp: &Datapath) -> String {
+    let table = dp.table.read();
+    let mut rules: Vec<_> = table.rules().to_vec();
+    rules.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.id.cmp(&b.id)));
+    let mut out = String::new();
+    for r in rules {
+        let (packets, bytes) = r.counters();
+        out.push_str(&format!(
+            " cookie=0x{:x}, n_packets={packets}, n_bytes={bytes}, priority={},{} actions={}\n",
+            r.cookie,
+            r.priority,
+            if fmt_match(&r) == "*" {
+                String::new()
+            } else {
+                format!("{},", fmt_match(&r))
+            },
+            fmt_actions(&r.actions),
+        ));
+    }
+    out
+}
+
+/// Renders the port list like `ovs-ofctl dump-ports` (administratively
+/// disabled ports are flagged, like `LINK_DOWN` in `ovs-ofctl show`).
+pub fn dump_ports(dp: &Datapath) -> String {
+    let ports = dp.ports.read();
+    let mut out = String::new();
+    for port in ports.values() {
+        let s = port.stats();
+        out.push_str(&format!(
+            "  port {:>4} ({}){}: rx pkts={}, bytes={}, drop={} | tx pkts={}, bytes={}, drop={}\n",
+            port.no.0,
+            port.name,
+            if port.is_admin_up() { "" } else { " [PORT_DOWN]" },
+            s.ipackets,
+            s.ibytes,
+            s.imissed,
+            s.opackets,
+            s.obytes,
+            s.odropped,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::messages::FlowMod;
+    use openflow::FlowMatch;
+
+    #[test]
+    fn dump_formats_rules_like_ofctl() {
+        let dp = Datapath::new(false);
+        let mut m = FlowMatch::in_port(PortNo(1));
+        m.eth_type = Some(0x0800);
+        m.l4_dst = Some(80);
+        dp.table.write().apply(
+            &FlowMod::add(m, 200, vec![Action::Output(PortNo(2))]).with_cookie(0xbeef),
+        );
+        dp.table
+            .write()
+            .apply(&FlowMod::add(FlowMatch::any(), 1, vec![]));
+
+        let dump = dump_flows(&dp);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Priority order: the specific rule first.
+        assert!(lines[0].contains("cookie=0xbeef"));
+        assert!(lines[0].contains("in_port=1"));
+        assert!(lines[0].contains("dl_type=0x0800"));
+        assert!(lines[0].contains("tp_dst=80"));
+        assert!(lines[0].contains("actions=output:2"));
+        assert!(lines[1].contains("actions=drop"));
+    }
+
+    #[test]
+    fn dump_ports_includes_counters() {
+        let dp = Datapath::new(false);
+        let (sw_end, mut vm_end) = shmem_sim::channel("d1", 8);
+        dp.add_port(crate::port::OvsPort::dpdkr(PortNo(3), "dpdkr3", sw_end));
+        vm_end.send(dpdk_sim::Mbuf::from_slice(&[0u8; 64])).unwrap();
+        let mut rx = Vec::new();
+        dp.port(PortNo(3)).unwrap().rx_burst(&mut rx, 8);
+        let dump = dump_ports(&dp);
+        assert!(dump.contains("port    3 (dpdkr3)"));
+        assert!(dump.contains("rx pkts=1, bytes=64"));
+    }
+
+    #[test]
+    fn reserved_ports_render_by_name() {
+        assert_eq!(fmt_actions(&[Action::Output(PortNo::FLOOD)]), "FLOOD");
+        assert_eq!(
+            fmt_actions(&[Action::SetIpTos(4), Action::Output(PortNo(9))]),
+            "mod_nw_tos:4,output:9"
+        );
+    }
+}

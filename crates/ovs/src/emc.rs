@@ -1,0 +1,151 @@
+//! Exact-match cache (EMC).
+//!
+//! The first-level lookup of the OVS-DPDK datapath: a small per-PMD hash
+//! table from `(in_port, full flow key)` to the rule that handled the last
+//! packet of that flow. Entries are validated against the flow table
+//! generation, so any table change invalidates the whole cache at zero cost.
+
+use crate::table::RuleEntry;
+use openflow::PortNo;
+use packet_wire::FlowKey;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default EMC capacity, matching OVS's `EM_FLOW_HASH_ENTRIES` (8192).
+pub const DEFAULT_EMC_ENTRIES: usize = 8192;
+
+struct EmcEntry {
+    generation: u64,
+    rule: Arc<RuleEntry>,
+}
+
+/// A per-PMD exact-match cache.
+pub struct Emc {
+    map: HashMap<(PortNo, FlowKey), EmcEntry>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Emc {
+    /// Creates a cache bounded to `capacity` flows.
+    pub fn new(capacity: usize) -> Emc {
+        Emc {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a flow; only entries from `generation` are valid.
+    pub fn lookup(
+        &mut self,
+        port: PortNo,
+        key: &FlowKey,
+        generation: u64,
+    ) -> Option<Arc<RuleEntry>> {
+        match self.map.get(&(port, *key)) {
+            Some(e) if e.generation == generation => {
+                self.hits += 1;
+                Some(Arc::clone(&e.rule))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a flow → rule binding for `generation`.
+    pub fn insert(&mut self, port: PortNo, key: FlowKey, rule: Arc<RuleEntry>, generation: u64) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&(port, key)) {
+            // Cheap eviction: drop stale entries; if none are stale, clear.
+            // (Real OVS probabilistically replaces; the effect — bounded
+            // memory, occasional re-classification — is the same.)
+            self.map.retain(|_, e| e.generation == generation);
+            if self.map.len() >= self.capacity {
+                self.map.clear();
+            }
+        }
+        self.map.insert((port, key), EmcEntry { generation, rule });
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Entries currently cached (including stale ones awaiting reuse).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::{Action, FlowMatch};
+    use std::sync::atomic::AtomicU64;
+
+    fn rule(id: u64) -> Arc<RuleEntry> {
+        Arc::new(RuleEntry {
+            id,
+            fmatch: FlowMatch::any(),
+            priority: 1,
+            actions: vec![Action::Output(PortNo(2))],
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            added_at: 0,
+            last_used: AtomicU64::new(0),
+            n_packets: AtomicU64::new(0),
+            n_bytes: AtomicU64::new(0),
+        })
+    }
+
+    #[test]
+    fn hit_after_insert_same_generation() {
+        let mut emc = Emc::new(16);
+        let key = FlowKey::default();
+        assert!(emc.lookup(PortNo(1), &key, 0).is_none());
+        emc.insert(PortNo(1), key, rule(1), 0);
+        assert_eq!(emc.lookup(PortNo(1), &key, 0).unwrap().id, 1);
+        assert_eq!(emc.stats(), (1, 1));
+    }
+
+    #[test]
+    fn generation_change_invalidates() {
+        let mut emc = Emc::new(16);
+        let key = FlowKey::default();
+        emc.insert(PortNo(1), key, rule(1), 0);
+        assert!(emc.lookup(PortNo(1), &key, 1).is_none());
+        // Reinsert under the new generation works.
+        emc.insert(PortNo(1), key, rule(2), 1);
+        assert_eq!(emc.lookup(PortNo(1), &key, 1).unwrap().id, 2);
+    }
+
+    #[test]
+    fn different_ports_are_different_flows() {
+        let mut emc = Emc::new(16);
+        let key = FlowKey::default();
+        emc.insert(PortNo(1), key, rule(1), 0);
+        assert!(emc.lookup(PortNo(2), &key, 0).is_none());
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut emc = Emc::new(4);
+        for i in 0..100u16 {
+            let mut key = FlowKey::default();
+            key.l4_dst = i;
+            emc.insert(PortNo(1), key, rule(u64::from(i)), 0);
+        }
+        assert!(emc.len() <= 5);
+    }
+}

@@ -1,0 +1,45 @@
+//! # ovs-dp
+//!
+//! An Open vSwitch-with-DPDK-style software switch: the substrate the paper
+//! modifies. The moving parts mirror the real architecture closely enough
+//! that the paper's patch points exist here too:
+//!
+//! * [`port`] — switch ports: `dpdkr` shared-memory ports (the kind VMs
+//!   attach to) and generic [`dpdk_sim::EthDev`] ports (simulated NICs).
+//! * [`table`] — the OpenFlow flow table with add/modify/delete (strict and
+//!   loose) semantics, priorities, cookies, timeouts and per-rule counters.
+//! * [`classifier`] — tuple-space search: one hash subtable per wildcard
+//!   mask, exactly OVS's `dpcls`.
+//! * [`emc`] — the exact-match cache in front of the classifier, keyed by
+//!   `(in_port, flow key)`, invalidated by table generation.
+//! * [`actions`] — action execution: header rewrites and output.
+//! * [`pmd`] — the poll-mode datapath loop servicing every port.
+//! * [`ofproto`] — the OpenFlow agent: decodes controller messages, applies
+//!   flow_mods, answers statistics (optionally *augmented* by an external
+//!   provider — the hook the paper's shared-memory stats use), and emits
+//!   packet-ins.
+//! * [`vswitchd`] — glues the above into a runnable switch daemon.
+//!
+//! Two extension hooks exist specifically for the highway (they are no-ops
+//! on a vanilla switch, which is how the reproduction runs its baseline):
+//!
+//! 1. [`ofproto::FlowTableObserver`] — called with a rule snapshot after
+//!    every table change; the p-2-p link detector lives behind it.
+//! 2. [`ofproto::StatsAugmenter`] — consulted when building flow/port stats
+//!    replies; the bypass stats region lives behind it.
+
+pub mod actions;
+pub mod classifier;
+pub mod dump;
+pub mod emc;
+pub mod ofproto;
+pub mod pmd;
+pub mod port;
+pub mod table;
+pub mod vswitchd;
+
+pub use ofproto::{FlowTableObserver, Ofproto, RuleSnapshot, StatsAugmenter};
+pub use port::{OvsPort, PortBackend, PortCounters};
+pub use pmd::PmdThread;
+pub use table::{FlowTable, RuleEntry, TableChange};
+pub use vswitchd::{VSwitchd, VSwitchdConfig};

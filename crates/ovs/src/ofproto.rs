@@ -1,0 +1,495 @@
+//! The OpenFlow agent: the switch-side endpoint of the control channel.
+//!
+//! `Ofproto` decodes controller messages, applies flow_mods to the datapath
+//! table, answers echo/features/barrier/statistics, executes packet-outs and
+//! forwards queued packet-ins. Two hooks make the highway possible without
+//! the controller noticing anything:
+//!
+//! * [`FlowTableObserver`] — receives a rule snapshot after every table
+//!   change (where the p-2-p link detector attaches);
+//! * [`StatsAugmenter`] — contributes extra per-rule / per-port counters
+//!   when statistics replies are built (where the bypass shared-memory
+//!   stats are merged in).
+
+use crate::pmd::Datapath;
+use crate::table::RuleEntry;
+use dpdk_sim::{cycles, Mbuf};
+use openflow::messages::*;
+use openflow::{Action, FlowMatch, OfError, PortNo, SwitchLink};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An immutable snapshot of one rule, handed to observers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSnapshot {
+    pub id: u64,
+    pub fmatch: FlowMatch,
+    pub priority: u16,
+    pub actions: Vec<Action>,
+    pub cookie: u64,
+}
+
+impl RuleSnapshot {
+    fn of(rule: &RuleEntry) -> RuleSnapshot {
+        RuleSnapshot {
+            id: rule.id,
+            fmatch: rule.fmatch,
+            priority: rule.priority,
+            actions: rule.actions.clone(),
+            cookie: rule.cookie,
+        }
+    }
+}
+
+/// Observer of flow-table changes (the p-2-p detector hook).
+pub trait FlowTableObserver: Send + Sync {
+    /// Called with the complete post-change rule set.
+    fn table_changed(&self, rules: &[RuleSnapshot]);
+
+    /// Called with the complete set of administratively-down ports after
+    /// every port config or membership change. A bypass must not carry
+    /// traffic past a port the controller disabled — the switch would have
+    /// dropped it — so the highway listens here too. Default: ignore.
+    fn ports_changed(&self, down_ports: &[PortNo]) {
+        let _ = down_ports;
+    }
+}
+
+/// Extra statistics merged into replies (the bypass stats hook).
+///
+/// Returned numbers are *cumulative* totals maintained by the implementor;
+/// ofproto adds them to its own counters at reply time, which is exactly how
+/// the prototype's OVS reads the shared-memory region on demand.
+pub trait StatsAugmenter: Send + Sync {
+    /// Extra `(packets, bytes)` for the rule with this cookie.
+    fn rule_extra(&self, cookie: u64) -> (u64, u64);
+    /// Extra port counters for this port.
+    fn port_extra(&self, port: PortNo) -> PortExtra;
+}
+
+/// Extra port counters contributed by bypassed traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortExtra {
+    pub rx_packets: u64,
+    pub rx_bytes: u64,
+    pub tx_packets: u64,
+    pub tx_bytes: u64,
+}
+
+/// The OpenFlow agent bound to one datapath.
+pub struct Ofproto {
+    dp: Arc<Datapath>,
+    link: Mutex<Option<SwitchLink>>,
+    observers: Mutex<Vec<Arc<dyn FlowTableObserver>>>,
+    augmenter: Mutex<Option<Arc<dyn StatsAugmenter>>>,
+    /// Last bypass packet count seen per rule cookie, so the idle-timeout
+    /// sweep can tell "idle" from "busy, but over a bypass channel".
+    bypass_progress: Mutex<BTreeMap<u64, u64>>,
+    datapath_id: u64,
+}
+
+impl Ofproto {
+    /// Creates the agent for a datapath.
+    pub fn new(dp: Arc<Datapath>, datapath_id: u64) -> Ofproto {
+        Ofproto {
+            dp,
+            link: Mutex::new(None),
+            observers: Mutex::new(Vec::new()),
+            augmenter: Mutex::new(None),
+            bypass_progress: Mutex::new(BTreeMap::new()),
+            datapath_id,
+        }
+    }
+
+    /// Attaches (or replaces) the controller link.
+    pub fn attach_controller(&self, link: SwitchLink) {
+        *self.link.lock() = Some(link);
+    }
+
+    /// Registers a flow-table observer.
+    pub fn register_observer(&self, obs: Arc<dyn FlowTableObserver>) {
+        self.observers.lock().push(obs);
+    }
+
+    /// Installs the statistics augmenter.
+    pub fn set_stats_augmenter(&self, aug: Arc<dyn StatsAugmenter>) {
+        *self.augmenter.lock() = Some(aug);
+    }
+
+    fn notify_observers(&self) {
+        let snapshot: Vec<RuleSnapshot> = {
+            let table = self.dp.table.read();
+            table.rules().iter().map(|r| RuleSnapshot::of(r)).collect()
+        };
+        for obs in self.observers.lock().iter() {
+            obs.table_changed(&snapshot);
+        }
+    }
+
+    fn notify_ports_changed(&self) {
+        let down: Vec<PortNo> = self
+            .dp
+            .ports
+            .read()
+            .values()
+            .filter(|p| !p.is_admin_up())
+            .map(|p| p.no)
+            .collect();
+        for obs in self.observers.lock().iter() {
+            obs.ports_changed(&down);
+        }
+    }
+
+    /// Emits a `PortStatus` for a port membership change and re-notifies
+    /// observers (called by the vswitchd layer on add/remove).
+    pub fn announce_port(&self, no: PortNo, name: &str, reason: PortStatusReason) {
+        let down = match reason {
+            PortStatusReason::Delete => false,
+            _ => self.dp.port(no).map(|p| !p.is_admin_up()).unwrap_or(false),
+        };
+        self.send(
+            &OfpMessage::PortStatus(PortStatus {
+                reason,
+                port_no: no.0,
+                name: name.to_string(),
+                down,
+            }),
+            0,
+        );
+        self.notify_ports_changed();
+    }
+
+    /// Applies a `port_mod`: flips the admin state, announces the change
+    /// and informs observers (the highway tears down bypasses over down
+    /// ports). Unknown ports produce an OF error back to the controller.
+    pub fn apply_port_mod(&self, pm: &PortMod) {
+        match self.dp.port(pm.port_no) {
+            Some(port) => {
+                let was_up = port.set_admin_up(!pm.down);
+                if was_up == pm.down {
+                    // State actually changed.
+                    self.send(
+                        &OfpMessage::PortStatus(PortStatus {
+                            reason: PortStatusReason::Modify,
+                            port_no: pm.port_no.0,
+                            name: port.name.clone(),
+                            down: pm.down,
+                        }),
+                        0,
+                    );
+                    self.notify_ports_changed();
+                }
+            }
+            None => {
+                self.send(
+                    &OfpMessage::Error {
+                        err_type: 2, // OFPET_BAD_ACTION family: bad port
+                        code: 4,     // OFPBAC_BAD_OUT_PORT
+                    },
+                    0,
+                );
+            }
+        }
+    }
+
+    fn send(&self, msg: &OfpMessage, xid: u32) {
+        if let Some(link) = self.link.lock().as_ref() {
+            let _ = link.send(msg, xid);
+        }
+    }
+
+    /// Applies a flow_mod directly (used by the controller path and by
+    /// tests/orchestrators that bypass the wire).
+    pub fn apply_flow_mod(&self, fm: &FlowMod) {
+        let change = self.dp.table.write().apply(fm);
+        if change.is_empty() {
+            return;
+        }
+        for removed in &change.removed {
+            let (packets, bytes) = removed.counters();
+            // Fold in bypass counters so FlowRemoved reports the truth.
+            let (ep, eb) = self
+                .augmenter
+                .lock()
+                .as_ref()
+                .map(|a| a.rule_extra(removed.cookie))
+                .unwrap_or((0, 0));
+            self.send(
+                &OfpMessage::FlowRemoved(FlowRemoved {
+                    fmatch: removed.fmatch,
+                    priority: removed.priority,
+                    cookie: removed.cookie,
+                    packet_count: packets + ep,
+                    byte_count: bytes + eb,
+                }),
+                0,
+            );
+        }
+        self.notify_observers();
+    }
+
+    /// Sweeps rule timeouts (called by the vswitchd housekeeping loop).
+    ///
+    /// Before sweeping, rules whose bypass counters advanced since the
+    /// last sweep get their idle clock refreshed: a fully bypassed rule
+    /// generates no switch-side hits, but it is *not* idle — expiring it
+    /// would tear down a live fast path and then blackhole the traffic.
+    /// (The prototype has the same obligation: OVS "is not able to count
+    /// statistics related to p-2-p links by itself".)
+    pub fn sweep_timeouts(&self) {
+        let now = cycles::now();
+        if let Some(aug) = self.augmenter.lock().clone() {
+            let table = self.dp.table.read();
+            let mut progress = self.bypass_progress.lock();
+            for rule in table.rules() {
+                if rule.idle_timeout == 0 {
+                    continue;
+                }
+                let (pkts, _bytes) = aug.rule_extra(rule.cookie);
+                let seen = progress.entry(rule.cookie).or_insert(0);
+                if pkts > *seen {
+                    *seen = pkts;
+                    rule.touch(now);
+                }
+            }
+            // Drop progress for rules that no longer exist, so a future
+            // rule reusing a cookie starts from the region's current count.
+            progress.retain(|cookie, _| table.rules().iter().any(|r| r.cookie == *cookie));
+        }
+        let change = self.dp.table.write().sweep_timeouts(cycles::now());
+        if change.is_empty() {
+            return;
+        }
+        for removed in &change.removed {
+            let (packets, bytes) = removed.counters();
+            let (ep, eb) = self
+                .augmenter
+                .lock()
+                .as_ref()
+                .map(|a| a.rule_extra(removed.cookie))
+                .unwrap_or((0, 0));
+            self.send(
+                &OfpMessage::FlowRemoved(FlowRemoved {
+                    fmatch: removed.fmatch,
+                    priority: removed.priority,
+                    cookie: removed.cookie,
+                    packet_count: packets + ep,
+                    byte_count: bytes + eb,
+                }),
+                0,
+            );
+        }
+        self.notify_observers();
+    }
+
+    fn build_flow_stats(&self, req: &FlowStatsRequest) -> Vec<FlowStatsEntry> {
+        let aug = self.augmenter.lock().clone();
+        let table = self.dp.table.read();
+        let now = cycles::now();
+        table
+            .rules()
+            .iter()
+            .filter(|r| {
+                // Loose filter semantics, like flow stats in OF 1.0.
+                crate::table::loose_filter_matches(&req.fmatch, &r.fmatch)
+                    && (req.out_port == PortNo::NONE
+                        || r.actions.iter().any(|a| *a == Action::Output(req.out_port)))
+            })
+            .map(|r| {
+                let (mut packets, mut bytes) = r.counters();
+                if let Some(aug) = &aug {
+                    let (ep, eb) = aug.rule_extra(r.cookie);
+                    packets += ep;
+                    bytes += eb;
+                }
+                FlowStatsEntry {
+                    fmatch: r.fmatch,
+                    priority: r.priority,
+                    cookie: r.cookie,
+                    duration_sec: (cycles::to_duration(now.saturating_sub(r.added_at)))
+                        .as_secs() as u32,
+                    idle_timeout: r.idle_timeout,
+                    hard_timeout: r.hard_timeout,
+                    packet_count: packets,
+                    byte_count: bytes,
+                    actions: r.actions.clone(),
+                }
+            })
+            .collect()
+    }
+
+    fn build_port_stats(&self, req: &PortStatsRequest) -> Vec<PortStatsEntry> {
+        let aug = self.augmenter.lock().clone();
+        let ports = self.dp.ports.read();
+        ports
+            .values()
+            .filter(|p| req.port_no == PortNo::NONE || p.no == req.port_no)
+            .map(|p| {
+                let s = p.stats();
+                let extra = aug
+                    .as_ref()
+                    .map(|a| a.port_extra(p.no))
+                    .unwrap_or_default();
+                PortStatsEntry {
+                    port_no: p.no.0,
+                    rx_packets: s.ipackets + extra.rx_packets,
+                    tx_packets: s.opackets + extra.tx_packets,
+                    rx_bytes: s.ibytes + extra.rx_bytes,
+                    tx_bytes: s.obytes + extra.tx_bytes,
+                    rx_dropped: s.imissed,
+                    tx_dropped: s.odropped,
+                }
+            })
+            .collect()
+    }
+
+    /// A full flow-stats snapshot (all rules, augmented), as an
+    /// `ovs-ofctl dump-flows` through the stats path would see it.
+    pub fn flow_stats_snapshot(&self) -> Vec<FlowStatsEntry> {
+        self.build_flow_stats(&FlowStatsRequest {
+            fmatch: FlowMatch::any(),
+            out_port: PortNo::NONE,
+        })
+    }
+
+    fn build_aggregate_stats(&self, req: &AggregateStatsRequest) -> AggregateStats {
+        let aug = self.augmenter.lock().clone();
+        let table = self.dp.table.read();
+        let mut agg = AggregateStats::default();
+        for r in table.rules() {
+            if !crate::table::loose_filter_matches(&req.fmatch, &r.fmatch) {
+                continue;
+            }
+            if req.out_port != PortNo::NONE
+                && !r.actions.iter().any(|a| *a == Action::Output(req.out_port))
+            {
+                continue;
+            }
+            let (mut packets, mut bytes) = r.counters();
+            if let Some(aug) = &aug {
+                let (ep, eb) = aug.rule_extra(r.cookie);
+                packets += ep;
+                bytes += eb;
+            }
+            agg.packet_count += packets;
+            agg.byte_count += bytes;
+            agg.flow_count += 1;
+        }
+        agg
+    }
+
+    fn build_table_stats(&self) -> Vec<TableStatsEntry> {
+        use std::sync::atomic::Ordering;
+        // One table, like the OF 1.0 profile of the prototype's OVS. The
+        // lookup/matched counters are switch-side only: packets riding a
+        // bypass never enter the table, and the prototype makes the same
+        // choice (only flow and port stats are shared-memory augmented).
+        vec![TableStatsEntry {
+            table_id: 0,
+            name: "classifier".into(),
+            max_entries: 1 << 20,
+            active_count: self.dp.table.read().len() as u32,
+            lookup_count: self.dp.lookups.load(Ordering::Relaxed),
+            matched_count: self.dp.matched.load(Ordering::Relaxed),
+        }]
+    }
+
+    fn build_desc_stats(&self) -> DescStats {
+        DescStats {
+            manufacturer: "vnf-highway (SIGCOMM'16 reproduction)".into(),
+            hardware: "simulated OVS-DPDK datapath".into(),
+            software: concat!("ovs-dp ", env!("CARGO_PKG_VERSION")).into(),
+            serial: "None".into(),
+            datapath: format!("dpid {:#x}", self.datapath_id),
+        }
+    }
+
+    fn handle_packet_out(&self, po: PacketOut) {
+        let snapshot: Vec<_> = self.dp.ports.read().values().cloned().collect();
+        let mut pkt = Mbuf::from_slice(&po.data);
+        let targets = crate::actions::execute(&mut pkt, &po.actions);
+        let mut staged = BTreeMap::new();
+        self.dp
+            .stage_outputs(pkt, po.in_port, &targets, &mut staged, &snapshot);
+        self.dp.flush_staged(&mut staged);
+    }
+
+    /// Processes every pending controller message and forwards queued
+    /// packet-ins. Returns how many messages were handled.
+    pub fn poll(&self) -> usize {
+        let mut handled = 0;
+        // Forward packet-ins punted by the datapath.
+        for pi in self.dp.drain_packet_ins(64) {
+            self.send(&OfpMessage::PacketIn(pi), 0);
+        }
+        loop {
+            let msg = {
+                let guard = self.link.lock();
+                match guard.as_ref() {
+                    Some(link) => link.try_recv(),
+                    None => None,
+                }
+            };
+            let Some(msg) = msg else { break };
+            let (msg, xid) = match msg {
+                Ok(m) => m,
+                Err(OfError::Disconnected) => break,
+                Err(_e) => {
+                    self.send(
+                        &OfpMessage::Error {
+                            err_type: 1, // OFPET_BAD_REQUEST
+                            code: 0,
+                        },
+                        0,
+                    );
+                    continue;
+                }
+            };
+            handled += 1;
+            match msg {
+                OfpMessage::Hello => self.send(&OfpMessage::Hello, xid),
+                OfpMessage::EchoRequest(data) => self.send(&OfpMessage::EchoReply(data), xid),
+                OfpMessage::FeaturesRequest => {
+                    let ports = self.dp.port_numbers().iter().map(|p| p.0).collect();
+                    self.send(
+                        &OfpMessage::FeaturesReply {
+                            datapath_id: self.datapath_id,
+                            ports,
+                        },
+                        xid,
+                    );
+                }
+                OfpMessage::FlowMod(fm) => self.apply_flow_mod(&fm),
+                OfpMessage::PortMod(pm) => self.apply_port_mod(&pm),
+                OfpMessage::FlowStatsRequest(req) => {
+                    let entries = self.build_flow_stats(&req);
+                    self.send(&OfpMessage::FlowStatsReply(entries), xid);
+                }
+                OfpMessage::PortStatsRequest(req) => {
+                    let entries = self.build_port_stats(&req);
+                    self.send(&OfpMessage::PortStatsReply(entries), xid);
+                }
+                OfpMessage::AggregateStatsRequest(req) => {
+                    let agg = self.build_aggregate_stats(&req);
+                    self.send(&OfpMessage::AggregateStatsReply(agg), xid);
+                }
+                OfpMessage::TableStatsRequest => {
+                    let entries = self.build_table_stats();
+                    self.send(&OfpMessage::TableStatsReply(entries), xid);
+                }
+                OfpMessage::DescStatsRequest => {
+                    let desc = self.build_desc_stats();
+                    self.send(&OfpMessage::DescStatsReply(desc), xid);
+                }
+                OfpMessage::PacketOut(po) => self.handle_packet_out(po),
+                OfpMessage::BarrierRequest => self.send(&OfpMessage::BarrierReply, xid),
+                // Replies/asynchronous messages are controller-bound only.
+                other => {
+                    let _ = other;
+                }
+            }
+        }
+        handled
+    }
+}

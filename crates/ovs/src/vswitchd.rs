@@ -1,0 +1,549 @@
+//! The switch daemon: assembles the datapath, the OpenFlow agent and the
+//! PMD thread(s) into a runnable vSwitch.
+
+use crate::ofproto::{FlowTableObserver, Ofproto, StatsAugmenter};
+use crate::pmd::{Datapath, PmdThread};
+use crate::port::OvsPort;
+use dpdk_sim::EthDev;
+use openflow::messages::FlowMod;
+use openflow::{PortNo, SwitchLink};
+use shmem_sim::ChannelEnd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct VSwitchdConfig {
+    /// Datapath id reported in features replies.
+    pub datapath_id: u64,
+    /// Punt table misses to the controller (OF 1.0 default) or drop them.
+    pub miss_to_controller: bool,
+    /// Housekeeping period (timeout sweeps, control-message polling).
+    pub housekeeping_interval: Duration,
+    /// PMD threads polling the ports. One (the default) mirrors a
+    /// single-core OVS-DPDK deployment; the paper's testbed dedicates
+    /// several cores. Ports are partitioned round-robin across threads,
+    /// like `pmd-rxq-affinity` defaults.
+    pub pmd_threads: usize,
+}
+
+impl Default for VSwitchdConfig {
+    fn default() -> Self {
+        VSwitchdConfig {
+            datapath_id: 0x00_c0ffee,
+            miss_to_controller: false,
+            housekeeping_interval: Duration::from_millis(1),
+            pmd_threads: 1,
+        }
+    }
+}
+
+/// A running (or stopped) vSwitch instance.
+pub struct VSwitchd {
+    dp: Arc<Datapath>,
+    ofproto: Arc<Ofproto>,
+    stop: Arc<AtomicBool>,
+    threads: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    housekeeping: Duration,
+    pmd_threads: usize,
+}
+
+impl VSwitchd {
+    /// Builds a stopped switch with no ports.
+    pub fn new(config: VSwitchdConfig) -> VSwitchd {
+        let dp = Datapath::new(config.miss_to_controller);
+        let ofproto = Arc::new(Ofproto::new(Arc::clone(&dp), config.datapath_id));
+        VSwitchd {
+            dp,
+            ofproto,
+            stop: Arc::new(AtomicBool::new(false)),
+            threads: parking_lot::Mutex::new(Vec::new()),
+            housekeeping: config.housekeeping_interval,
+            pmd_threads: config.pmd_threads.max(1),
+        }
+    }
+
+    /// The shared datapath (ports + table).
+    pub fn datapath(&self) -> Arc<Datapath> {
+        Arc::clone(&self.dp)
+    }
+
+    /// The OpenFlow agent.
+    pub fn ofproto(&self) -> Arc<Ofproto> {
+        Arc::clone(&self.ofproto)
+    }
+
+    /// Adds a dpdkr port backed by the switch side of a shared channel.
+    /// Announces the port to the controller (`PortStatus` Add).
+    pub fn add_dpdkr_port(
+        &self,
+        no: PortNo,
+        name: impl Into<String>,
+        end: ChannelEnd,
+    ) -> Arc<OvsPort> {
+        let port = self.dp.add_port(OvsPort::dpdkr(no, name, end));
+        self.ofproto
+            .announce_port(no, &port.name, openflow::PortStatusReason::Add);
+        port
+    }
+
+    /// Adds a device-backed port (e.g. a simulated NIC).
+    pub fn add_device_port(
+        &self,
+        no: PortNo,
+        name: impl Into<String>,
+        dev: Arc<dyn EthDev>,
+    ) -> Arc<OvsPort> {
+        let port = self.dp.add_port(OvsPort::device(no, name, dev));
+        self.ofproto
+            .announce_port(no, &port.name, openflow::PortStatusReason::Add);
+        port
+    }
+
+    /// Removes a port, announcing the deletion.
+    pub fn remove_port(&self, no: PortNo) -> Option<Arc<OvsPort>> {
+        let removed = self.dp.remove_port(no);
+        if let Some(port) = &removed {
+            self.ofproto
+                .announce_port(no, &port.name, openflow::PortStatusReason::Delete);
+        }
+        removed
+    }
+
+    /// Administratively enables/disables a port (the `port_mod` path used
+    /// by tests and orchestrators that bypass the wire).
+    pub fn set_port_down(&self, no: PortNo, down: bool) {
+        self.ofproto
+            .apply_port_mod(&openflow::PortMod { port_no: no, down });
+    }
+
+    /// Attaches the controller link.
+    pub fn attach_controller(&self, link: SwitchLink) {
+        self.ofproto.attach_controller(link);
+    }
+
+    /// Registers a flow-table observer (the p-2-p detector hook).
+    pub fn register_observer(&self, obs: Arc<dyn FlowTableObserver>) {
+        self.ofproto.register_observer(obs);
+    }
+
+    /// Installs the statistics augmenter (the bypass stats hook).
+    pub fn set_stats_augmenter(&self, aug: Arc<dyn StatsAugmenter>) {
+        self.ofproto.set_stats_augmenter(aug);
+    }
+
+    /// Applies a flow_mod without a controller (orchestrator/test path);
+    /// observers and FlowRemoved generation behave exactly as via the wire.
+    pub fn inject_flow_mod(&self, fm: &FlowMod) {
+        self.ofproto.apply_flow_mod(fm);
+    }
+
+    /// Starts the PMD thread(s) and the housekeeping/control thread.
+    pub fn start(&self) {
+        let mut threads = self.threads.lock();
+        assert!(threads.is_empty(), "vswitchd already started");
+        self.stop.store(false, Ordering::Release);
+
+        for i in 0..self.pmd_threads {
+            let pmd = PmdThread::with_share(
+                Arc::clone(&self.dp),
+                Arc::clone(&self.stop),
+                i,
+                self.pmd_threads,
+            );
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ovs-pmd-{i}"))
+                    .spawn(move || pmd.run())
+                    .expect("spawn pmd"),
+            );
+        }
+
+        let ofproto = Arc::clone(&self.ofproto);
+        let stop = Arc::clone(&self.stop);
+        let interval = self.housekeeping;
+        threads.push(
+            std::thread::Builder::new()
+                .name("ovs-main".into())
+                .spawn(move || {
+                    let mut last_sweep = std::time::Instant::now();
+                    while !stop.load(Ordering::Acquire) {
+                        let handled = ofproto.poll();
+                        if last_sweep.elapsed() >= Duration::from_millis(100) {
+                            ofproto.sweep_timeouts();
+                            last_sweep = std::time::Instant::now();
+                        }
+                        if handled == 0 {
+                            std::thread::sleep(interval);
+                        }
+                    }
+                })
+                .expect("spawn main"),
+        );
+    }
+
+    /// Stops all threads (idempotent).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// True while the daemon threads run.
+    pub fn is_running(&self) -> bool {
+        !self.threads.lock().is_empty()
+    }
+}
+
+impl Drop for VSwitchd {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdk_sim::Mbuf;
+    use openflow::{control_link, Action, FlowMatch};
+    use packet_wire::PacketBuilder;
+    use shmem_sim::channel;
+
+    #[test]
+    fn end_to_end_via_controller_wire() {
+        let sw = VSwitchd::new(VSwitchdConfig::default());
+        let (sw1, mut vm1) = channel("dpdkr1", 64);
+        let (sw2, mut vm2) = channel("dpdkr2", 64);
+        sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
+        sw.add_dpdkr_port(PortNo(2), "dpdkr2", sw2);
+
+        let (ctrl, link) = control_link();
+        sw.attach_controller(link);
+        sw.start();
+
+        ctrl.add_flow(
+            FlowMatch::in_port(PortNo(1)),
+            10,
+            vec![Action::Output(PortNo(2))],
+            0xc0de,
+        )
+        .unwrap();
+        ctrl.barrier(Duration::from_secs(2)).unwrap();
+
+        let pkt = PacketBuilder::udp_probe(64).build();
+        vm1.send(dpdk_sim::Mbuf::from_slice(&pkt)).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let got = loop {
+            if let Some(m) = vm2.recv() {
+                break Some(m);
+            }
+            if std::time::Instant::now() > deadline {
+                break None;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(got.expect("packet crossed the switch").len(), 64);
+
+        // Flow stats over the wire reflect the hit.
+        let stats = ctrl.flow_stats(Duration::from_secs(2)).unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].cookie, 0xc0de);
+        assert_eq!(stats[0].packet_count, 1);
+        assert_eq!(stats[0].byte_count, 64);
+
+        // Port stats too.
+        let pstats = ctrl.port_stats(Duration::from_secs(2)).unwrap();
+        let p1 = pstats.iter().find(|p| p.port_no == 1).unwrap();
+        let p2 = pstats.iter().find(|p| p.port_no == 2).unwrap();
+        assert_eq!(p1.rx_packets, 1);
+        assert_eq!(p2.tx_packets, 1);
+
+        sw.stop();
+    }
+
+    #[test]
+    fn multi_pmd_deployment_forwards_across_thread_shares() {
+        // 4 ports, 2 PMD threads: ports 1,3 belong to PMD 0 and 2,4 to
+        // PMD 1 (round-robin by position), so both rules below cross PMD
+        // ownership boundaries — delivery must be thread-safe.
+        let sw = VSwitchd::new(VSwitchdConfig {
+            pmd_threads: 2,
+            ..VSwitchdConfig::default()
+        });
+        let (sw1, mut vm1) = channel("dpdkr1", 256);
+        let (sw2, mut vm2) = channel("dpdkr2", 256);
+        let (sw3, mut vm3) = channel("dpdkr3", 256);
+        let (sw4, mut vm4) = channel("dpdkr4", 256);
+        sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
+        sw.add_dpdkr_port(PortNo(2), "dpdkr2", sw2);
+        sw.add_dpdkr_port(PortNo(3), "dpdkr3", sw3);
+        sw.add_dpdkr_port(PortNo(4), "dpdkr4", sw4);
+        sw.inject_flow_mod(&FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            10,
+            vec![Action::Output(PortNo(2))],
+        ));
+        sw.inject_flow_mod(&FlowMod::add(
+            FlowMatch::in_port(PortNo(4)),
+            10,
+            vec![Action::Output(PortNo(3))],
+        ));
+        sw.start();
+
+        const N: u64 = 200;
+        for i in 0..N {
+            let mut m = Mbuf::from_slice(&PacketBuilder::udp_probe(64).build());
+            m.udata = i;
+            while vm1.send(m).is_err() {
+                m = Mbuf::from_slice(&PacketBuilder::udp_probe(64).build());
+                m.udata = i;
+                std::thread::yield_now();
+            }
+            let mut m = Mbuf::from_slice(&PacketBuilder::udp_probe(64).build());
+            m.udata = i;
+            while vm4.send(m).is_err() {
+                m = Mbuf::from_slice(&PacketBuilder::udp_probe(64).build());
+                m.udata = i;
+                std::thread::yield_now();
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let (mut got2, mut got3) = (0u64, 0u64);
+        while (got2 < N || got3 < N) && std::time::Instant::now() < deadline {
+            if vm2.recv().is_some() {
+                got2 += 1;
+            }
+            if vm3.recv().is_some() {
+                got3 += 1;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!((got2, got3), (N, N), "both PMD shares forwarded everything");
+        sw.stop();
+    }
+
+    #[test]
+    fn packet_out_reaches_port() {
+        let sw = VSwitchd::new(VSwitchdConfig::default());
+        let (sw1, mut vm1) = channel("dpdkr1", 8);
+        sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
+        let (ctrl, link) = control_link();
+        sw.attach_controller(link);
+        sw.start();
+
+        ctrl.packet_out(
+            PacketBuilder::udp_probe(64).build(),
+            vec![Action::Output(PortNo(1))],
+        )
+        .unwrap();
+        ctrl.barrier(Duration::from_secs(2)).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut got = false;
+        while std::time::Instant::now() < deadline {
+            if vm1.recv().is_some() {
+                got = true;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(got, "packet-out delivered to dpdkr port");
+        sw.stop();
+    }
+
+    #[test]
+    fn echo_and_features() {
+        let sw = VSwitchd::new(VSwitchdConfig::default());
+        let (sw1, _vm1) = channel("dpdkr1", 8);
+        sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
+        let (ctrl, link) = control_link();
+        sw.attach_controller(link);
+        sw.start();
+
+        let xid = ctrl
+            .send(&openflow::OfpMessage::EchoRequest(vec![9, 9]))
+            .unwrap();
+        match ctrl.wait_reply(xid, Duration::from_secs(2)).unwrap() {
+            openflow::OfpMessage::EchoReply(d) => assert_eq!(d, vec![9, 9]),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let xid = ctrl.send(&openflow::OfpMessage::FeaturesRequest).unwrap();
+        match ctrl.wait_reply(xid, Duration::from_secs(2)).unwrap() {
+            openflow::OfpMessage::FeaturesReply { datapath_id, ports } => {
+                assert_eq!(datapath_id, 0x00_c0ffee);
+                assert_eq!(ports, vec![1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        sw.stop();
+    }
+
+    #[test]
+    fn port_mod_disables_forwarding_and_announces() {
+        let sw = VSwitchd::new(VSwitchdConfig::default());
+        let (sw1, mut vm1) = channel("dpdkr1", 64);
+        let (sw2, mut vm2) = channel("dpdkr2", 64);
+        let (ctrl, link) = control_link();
+        sw.attach_controller(link);
+        sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
+        sw.add_dpdkr_port(PortNo(2), "dpdkr2", sw2);
+        sw.inject_flow_mod(&FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            10,
+            vec![Action::Output(PortNo(2))],
+        ));
+        sw.start();
+
+        // Port-status Adds were announced for both ports.
+        let wait_status = |n: usize| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            let mut seen = Vec::new();
+            while seen.len() < n && std::time::Instant::now() < deadline {
+                seen.extend(ctrl.drain_port_status());
+                std::thread::yield_now();
+            }
+            seen
+        };
+        let added = wait_status(2);
+        assert_eq!(added.len(), 2);
+        assert!(added
+            .iter()
+            .all(|s| s.reason == openflow::PortStatusReason::Add && !s.down));
+
+        // Bring the egress port down over the wire.
+        ctrl.set_port_down(PortNo(2), true).unwrap();
+        ctrl.barrier(Duration::from_secs(2)).unwrap();
+        let modified = wait_status(1);
+        assert_eq!(modified.len(), 1);
+        assert_eq!(modified[0].port_no, 2);
+        assert!(modified[0].down);
+
+        // Traffic to the down port is dropped (counted), not delivered.
+        vm1.send(dpdk_sim::Mbuf::from_slice(
+            &PacketBuilder::udp_probe(64).build(),
+        ))
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while sw.datapath().port(PortNo(2)).unwrap().stats().odropped == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+        assert_eq!(sw.datapath().port(PortNo(2)).unwrap().stats().odropped, 1);
+        assert!(vm2.recv().is_none());
+
+        // Bring it back up: traffic flows again.
+        ctrl.set_port_down(PortNo(2), false).unwrap();
+        ctrl.barrier(Duration::from_secs(2)).unwrap();
+        vm1.send(dpdk_sim::Mbuf::from_slice(
+            &PacketBuilder::udp_probe(64).build(),
+        ))
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut got = false;
+        while std::time::Instant::now() < deadline {
+            if vm2.recv().is_some() {
+                got = true;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(got, "traffic resumes after port re-enable");
+        sw.stop();
+    }
+
+    #[test]
+    fn aggregate_table_desc_stats_over_the_wire() {
+        let sw = VSwitchd::new(VSwitchdConfig::default());
+        let (sw1, mut vm1) = channel("dpdkr1", 64);
+        let (sw2, _vm2) = channel("dpdkr2", 64);
+        sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
+        sw.add_dpdkr_port(PortNo(2), "dpdkr2", sw2);
+        let (ctrl, link) = control_link();
+        sw.attach_controller(link);
+        sw.start();
+
+        ctrl.add_flow(
+            FlowMatch::in_port(PortNo(1)),
+            10,
+            vec![Action::Output(PortNo(2))],
+            1,
+        )
+        .unwrap();
+        ctrl.add_flow(
+            FlowMatch::in_port(PortNo(2)),
+            10,
+            vec![Action::Output(PortNo(1))],
+            2,
+        )
+        .unwrap();
+        ctrl.barrier(Duration::from_secs(2)).unwrap();
+
+        vm1.send(dpdk_sim::Mbuf::from_slice(
+            &PacketBuilder::udp_probe(64).build(),
+        ))
+        .unwrap();
+        // Wait until the datapath processed it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline {
+            let agg = ctrl
+                .aggregate_stats(FlowMatch::any(), Duration::from_secs(2))
+                .unwrap();
+            if agg.packet_count == 1 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+
+        let agg = ctrl
+            .aggregate_stats(FlowMatch::any(), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(agg.flow_count, 2);
+        assert_eq!(agg.packet_count, 1);
+        assert_eq!(agg.byte_count, 64);
+
+        // Filtered aggregate: only the port-1 rule.
+        let agg1 = ctrl
+            .aggregate_stats(FlowMatch::in_port(PortNo(1)), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(agg1.flow_count, 1);
+        assert_eq!(agg1.packet_count, 1);
+
+        let tables = ctrl.table_stats(Duration::from_secs(2)).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].active_count, 2);
+        assert_eq!(tables[0].lookup_count, 1);
+        assert_eq!(tables[0].matched_count, 1);
+
+        let desc = ctrl.desc_stats(Duration::from_secs(2)).unwrap();
+        assert!(desc.manufacturer.contains("vnf-highway"));
+        sw.stop();
+    }
+
+    #[test]
+    fn observers_fire_on_flow_mods() {
+        use std::sync::atomic::AtomicUsize;
+        struct Counter(AtomicUsize);
+        impl FlowTableObserver for Counter {
+            fn table_changed(&self, rules: &[crate::ofproto::RuleSnapshot]) {
+                self.0.store(rules.len(), Ordering::SeqCst);
+            }
+        }
+        let sw = VSwitchd::new(VSwitchdConfig::default());
+        let counter = Arc::new(Counter(AtomicUsize::new(usize::MAX)));
+        sw.register_observer(counter.clone());
+        sw.inject_flow_mod(&FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            1,
+            vec![Action::Output(PortNo(2))],
+        ));
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        sw.inject_flow_mod(&FlowMod::delete(FlowMatch::any()));
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! ARP packet view (Ethernet/IPv4 only), used by VNFs that answer or observe
+//! address resolution inside the service graph.
+
+use crate::ethernet::MacAddr;
+use crate::{Result, WireError};
+use std::net::Ipv4Addr;
+
+/// Length of an Ethernet/IPv4 ARP packet body.
+pub const ARP_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOperation {
+    Request,
+    Reply,
+    Other(u16),
+}
+
+impl ArpOperation {
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ArpOperation::Request => 1,
+            ArpOperation::Reply => 2,
+            ArpOperation::Other(v) => v,
+        }
+    }
+
+    pub fn from_u16(v: u16) -> ArpOperation {
+        match v {
+            1 => ArpOperation::Request,
+            2 => ArpOperation::Reply,
+            other => ArpOperation::Other(other),
+        }
+    }
+}
+
+/// A view over an Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone)]
+pub struct ArpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> ArpPacket<T> {
+    /// Wraps a buffer without validation.
+    pub const fn new_unchecked(buffer: T) -> ArpPacket<T> {
+        ArpPacket { buffer }
+    }
+
+    /// Wraps a buffer, validating length and hardware/protocol types.
+    pub fn new_checked(buffer: T) -> Result<ArpPacket<T>> {
+        let p = Self::new_unchecked(buffer);
+        p.check_len()?;
+        Ok(p)
+    }
+
+    /// Validates structural invariants.
+    pub fn check_len(&self) -> Result<()> {
+        let d = self.buffer.as_ref();
+        if d.len() < ARP_LEN {
+            return Err(WireError::Truncated);
+        }
+        // Hardware type Ethernet (1), protocol type IPv4 (0x0800),
+        // hw len 6, proto len 4.
+        if u16::from_be_bytes([d[0], d[1]]) != 1
+            || u16::from_be_bytes([d[2], d[3]]) != 0x0800
+            || d[4] != 6
+            || d[5] != 4
+        {
+            return Err(WireError::Unsupported);
+        }
+        Ok(())
+    }
+
+    /// Operation code.
+    pub fn operation(&self) -> ArpOperation {
+        let d = self.buffer.as_ref();
+        ArpOperation::from_u16(u16::from_be_bytes([d[6], d[7]]))
+    }
+
+    /// Sender hardware address.
+    pub fn sender_mac(&self) -> MacAddr {
+        let d = self.buffer.as_ref();
+        let mut b = [0u8; 6];
+        b.copy_from_slice(&d[8..14]);
+        MacAddr(b)
+    }
+
+    /// Sender protocol address.
+    pub fn sender_ip(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[14], d[15], d[16], d[17])
+    }
+
+    /// Target hardware address.
+    pub fn target_mac(&self) -> MacAddr {
+        let d = self.buffer.as_ref();
+        let mut b = [0u8; 6];
+        b.copy_from_slice(&d[18..24]);
+        MacAddr(b)
+    }
+
+    /// Target protocol address.
+    pub fn target_ip(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[24], d[25], d[26], d[27])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> ArpPacket<T> {
+    /// Writes the fixed Ethernet/IPv4 preamble (htype/ptype/hlen/plen).
+    pub fn fill_preamble(&mut self) {
+        let d = self.buffer.as_mut();
+        d[0..2].copy_from_slice(&1u16.to_be_bytes());
+        d[2..4].copy_from_slice(&0x0800u16.to_be_bytes());
+        d[4] = 6;
+        d[5] = 4;
+    }
+
+    /// Sets the operation code.
+    pub fn set_operation(&mut self, op: ArpOperation) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&op.to_u16().to_be_bytes());
+    }
+
+    /// Sets the sender hardware address.
+    pub fn set_sender_mac(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[8..14].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the sender protocol address.
+    pub fn set_sender_ip(&mut self, ip: Ipv4Addr) {
+        self.buffer.as_mut()[14..18].copy_from_slice(&ip.octets());
+    }
+
+    /// Sets the target hardware address.
+    pub fn set_target_mac(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[18..24].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the target protocol address.
+    pub fn set_target_ip(&mut self, ip: Ipv4Addr) {
+        self.buffer.as_mut()[24..28].copy_from_slice(&ip.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_parse_request() {
+        let mut buf = vec![0u8; ARP_LEN];
+        let mut p = ArpPacket::new_unchecked(&mut buf[..]);
+        p.fill_preamble();
+        p.set_operation(ArpOperation::Request);
+        p.set_sender_mac(MacAddr::local(1));
+        p.set_sender_ip(Ipv4Addr::new(10, 0, 0, 1));
+        p.set_target_mac(MacAddr::ZERO);
+        p.set_target_ip(Ipv4Addr::new(10, 0, 0, 2));
+
+        let p = ArpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.operation(), ArpOperation::Request);
+        assert_eq!(p.sender_mac(), MacAddr::local(1));
+        assert_eq!(p.sender_ip(), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(p.target_ip(), Ipv4Addr::new(10, 0, 0, 2));
+    }
+
+    #[test]
+    fn rejects_non_ethernet_hardware() {
+        let mut buf = vec![0u8; ARP_LEN];
+        {
+            let mut p = ArpPacket::new_unchecked(&mut buf[..]);
+            p.fill_preamble();
+        }
+        buf[0] = 0;
+        buf[1] = 6; // IEEE 802 instead of Ethernet
+        assert_eq!(
+            ArpPacket::new_checked(&buf[..]).unwrap_err(),
+            WireError::Unsupported
+        );
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(
+            ArpPacket::new_checked(&[0u8; 27][..]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! RFC 1071 Internet checksum, shared by IPv4, UDP and TCP.
+
+/// Computes the ones-complement sum over `data`, folded to 16 bits but not
+/// yet complemented. Useful for incremental computation over several slices.
+pub fn raw_sum(data: &[u8]) -> u32 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+/// Folds a 32-bit running sum into a 16-bit ones-complement value.
+pub fn fold(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Full Internet checksum of one slice.
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(raw_sum(data))
+}
+
+/// Pseudo-header sum for UDP/TCP over IPv4 (RFC 768 / RFC 793).
+pub fn pseudo_header_sum(
+    src: std::net::Ipv4Addr,
+    dst: std::net::Ipv4Addr,
+    protocol: u8,
+    length: u16,
+) -> u32 {
+    let s = src.octets();
+    let d = dst.octets();
+    raw_sum(&s)
+        + raw_sum(&d)
+        + u32::from(protocol)
+        + u32::from(length)
+}
+
+/// Checksum of a transport segment including its IPv4 pseudo header.
+pub fn transport_checksum(
+    src: std::net::Ipv4Addr,
+    dst: std::net::Ipv4Addr,
+    protocol: u8,
+    segment: &[u8],
+) -> u16 {
+    let sum = pseudo_header_sum(src, dst, protocol, segment.len() as u16) + raw_sum(segment);
+    !fold(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(raw_sum(&data)), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(raw_sum(&[0xab]), raw_sum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn checksum_of_data_with_its_checksum_is_zero() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x00, 0x00];
+        let c = checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert_eq!(fold(raw_sum(&data)), 0xffff);
+    }
+
+    #[test]
+    fn pseudo_header_is_order_sensitive_in_value_not_validity() {
+        let a = transport_checksum(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            17,
+            &[1, 2, 3, 4],
+        );
+        let b = transport_checksum(
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            17,
+            &[1, 2, 3, 4],
+        );
+        // Swapping src/dst swaps equal-weight words, so the sum is identical;
+        // what matters is that verification uses the same pseudo header.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_slice_checksums_to_all_ones() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+}

@@ -1,0 +1,231 @@
+//! Ethernet II frame view.
+
+use crate::{Result, WireError};
+
+/// Length of an Ethernet II header: destination + source MAC + ethertype.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as "unspecified".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Builds a locally-administered unicast address from a small index, so
+    /// tests and examples get stable, readable MACs (`02:00:00:00:00:<n>`).
+    pub fn local(index: u8) -> MacAddr {
+        MacAddr([0x02, 0, 0, 0, 0, index])
+    }
+
+    /// True if the least-significant bit of the first octet is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for `ff:ff:ff:ff:ff:ff`.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if every octet is zero.
+    pub fn is_unspecified(&self) -> bool {
+        *self == Self::ZERO
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(v: [u8; 6]) -> Self {
+        MacAddr(v)
+    }
+}
+
+/// EtherType values understood by the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    Ipv4,
+    Arp,
+    Vlan,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Raw 16-bit value as it appears on the wire.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parses the raw wire value.
+    pub fn from_u16(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A read (and optionally write) view over an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+mod field {
+    use core::ops::Range;
+    pub const DST: Range<usize> = 0..6;
+    pub const SRC: Range<usize> = 6..12;
+    pub const ETHERTYPE: Range<usize> = 12..14;
+    pub const PAYLOAD: usize = 14;
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer without validating it.
+    pub const fn new_unchecked(buffer: T) -> EthernetFrame<T> {
+        EthernetFrame { buffer }
+    }
+
+    /// Wraps a buffer, ensuring it is long enough for the header.
+    pub fn new_checked(buffer: T) -> Result<EthernetFrame<T>> {
+        let frame = Self::new_unchecked(buffer);
+        frame.check_len()?;
+        Ok(frame)
+    }
+
+    /// Validates the buffer length.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < ETHERNET_HEADER_LEN {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> MacAddr {
+        let data = self.buffer.as_ref();
+        let mut b = [0u8; 6];
+        b.copy_from_slice(&data[field::DST]);
+        MacAddr(b)
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> MacAddr {
+        let data = self.buffer.as_ref();
+        let mut b = [0u8; 6];
+        b.copy_from_slice(&data[field::SRC]);
+        MacAddr(b)
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let data = self.buffer.as_ref();
+        EtherType::from_u16(u16::from_be_bytes([
+            data[field::ETHERTYPE.start],
+            data[field::ETHERTYPE.start + 1],
+        ]))
+    }
+
+    /// Immutable view of the payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC address.
+    pub fn set_dst_addr(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src_addr(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the EtherType field.
+    pub fn set_ethertype(&mut self, ty: EtherType) {
+        self.buffer.as_mut()[field::ETHERTYPE].copy_from_slice(&ty.to_u16().to_be_bytes());
+    }
+
+    /// Mutable view of the payload following the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; 64];
+        let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+        frame.set_dst_addr(MacAddr::local(2));
+        frame.set_src_addr(MacAddr::local(1));
+        frame.set_ethertype(EtherType::Ipv4);
+        frame.payload_mut()[0] = 0xAB;
+        buf
+    }
+
+    #[test]
+    fn roundtrip_header_fields() {
+        let buf = sample();
+        let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.dst_addr(), MacAddr::local(2));
+        assert_eq!(frame.src_addr(), MacAddr::local(1));
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload()[0], 0xAB);
+    }
+
+    #[test]
+    fn rejects_truncated_buffer() {
+        let buf = [0u8; 13];
+        assert_eq!(
+            EthernetFrame::new_checked(&buf[..]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn ethertype_mapping_roundtrips() {
+        for raw in [0x0800u16, 0x0806, 0x8100, 0x86dd, 0x1234] {
+            assert_eq!(EtherType::from_u16(raw).to_u16(), raw);
+        }
+    }
+
+    #[test]
+    fn mac_classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::local(1).is_multicast());
+        assert!(MacAddr::ZERO.is_unspecified());
+        assert_eq!(MacAddr::local(7).to_string(), "02:00:00:00:00:07");
+    }
+}

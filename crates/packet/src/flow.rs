@@ -1,0 +1,181 @@
+//! Flow key extraction — the parsed header tuple that drives the vSwitch
+//! exact-match cache and the OpenFlow classifier.
+
+use crate::ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
+use crate::ipv4::{IpProtocol, Ipv4Packet};
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use std::net::Ipv4Addr;
+
+/// The parsed L2–L4 header tuple of one packet.
+///
+/// This mirrors the fields of an OpenFlow 1.0 12-tuple match *minus* the
+/// ingress port, which the switch supplies separately (the same packet bytes
+/// can arrive on different ports). Fields that do not apply to the packet
+/// (e.g. L4 ports of a non-TCP/UDP packet) are zeroed — exactly as OVS
+/// canonicalises its miniflows, so the key is well-defined and hashable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    pub eth_src: MacAddr,
+    pub eth_dst: MacAddr,
+    /// Raw EtherType of the innermost payload (after the VLAN tag, if any).
+    pub eth_type: u16,
+    /// VLAN ID (12 bits) or 0 when untagged.
+    pub vlan_id: u16,
+    pub ipv4_src: Ipv4Addr,
+    pub ipv4_dst: Ipv4Addr,
+    pub ip_proto: u8,
+    pub ip_tos: u8,
+    pub l4_src: u16,
+    pub l4_dst: u16,
+}
+
+impl Default for FlowKey {
+    fn default() -> Self {
+        FlowKey {
+            eth_src: MacAddr::ZERO,
+            eth_dst: MacAddr::ZERO,
+            eth_type: 0,
+            vlan_id: 0,
+            ipv4_src: Ipv4Addr::UNSPECIFIED,
+            ipv4_dst: Ipv4Addr::UNSPECIFIED,
+            ip_proto: 0,
+            ip_tos: 0,
+            l4_src: 0,
+            l4_dst: 0,
+        }
+    }
+}
+
+impl FlowKey {
+    /// Parses the headers of a raw Ethernet frame into a key.
+    ///
+    /// Malformed inner layers degrade gracefully: the key keeps the fields
+    /// that parsed and zeroes the rest, mirroring how a real switch still
+    /// forwards packets it cannot fully classify.
+    pub fn extract(frame: &[u8]) -> FlowKey {
+        let mut key = FlowKey::default();
+        let Ok(eth) = EthernetFrame::new_checked(frame) else {
+            return key;
+        };
+        key.eth_src = eth.src_addr();
+        key.eth_dst = eth.dst_addr();
+        let mut ethertype = eth.ethertype();
+        let mut l3 = eth.payload();
+
+        if ethertype == EtherType::Vlan && l3.len() >= 4 {
+            key.vlan_id = u16::from_be_bytes([l3[0], l3[1]]) & 0x0fff;
+            ethertype = EtherType::from_u16(u16::from_be_bytes([l3[2], l3[3]]));
+            l3 = &l3[4..];
+        }
+        key.eth_type = ethertype.to_u16();
+
+        if ethertype != EtherType::Ipv4 {
+            return key;
+        }
+        let Ok(ip) = Ipv4Packet::new_checked(l3) else {
+            return key;
+        };
+        key.ipv4_src = ip.src_addr();
+        key.ipv4_dst = ip.dst_addr();
+        key.ip_proto = ip.protocol().to_u8();
+        key.ip_tos = ip.tos();
+
+        match ip.protocol() {
+            IpProtocol::Udp => {
+                if let Ok(udp) = UdpDatagram::new_checked(ip.payload()) {
+                    key.l4_src = udp.src_port();
+                    key.l4_dst = udp.dst_port();
+                }
+            }
+            IpProtocol::Tcp => {
+                if let Ok(tcp) = TcpSegment::new_checked(ip.payload()) {
+                    key.l4_src = tcp.src_port();
+                    key.l4_dst = tcp.dst_port();
+                }
+            }
+            _ => {}
+        }
+        key
+    }
+
+    /// Byte offset of the IPv4 header inside the frame this key was parsed
+    /// from (accounts for the VLAN tag). Only meaningful when
+    /// `eth_type == 0x0800`.
+    pub fn l3_offset(&self) -> usize {
+        if self.vlan_id != 0 {
+            ETHERNET_HEADER_LEN + 4
+        } else {
+            ETHERNET_HEADER_LEN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+
+    #[test]
+    fn extracts_udp_five_tuple() {
+        let pkt = PacketBuilder::udp_probe(64)
+            .eth(MacAddr::local(1), MacAddr::local(2))
+            .ip(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .ports(1111, 2222)
+            .build();
+        let key = FlowKey::extract(&pkt);
+        assert_eq!(key.eth_src, MacAddr::local(1));
+        assert_eq!(key.eth_dst, MacAddr::local(2));
+        assert_eq!(key.eth_type, 0x0800);
+        assert_eq!(key.ipv4_src, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(key.ipv4_dst, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(key.ip_proto, 17);
+        assert_eq!(key.l4_src, 1111);
+        assert_eq!(key.l4_dst, 2222);
+        assert_eq!(key.vlan_id, 0);
+    }
+
+    #[test]
+    fn non_ip_frame_zeroes_l3_and_l4() {
+        let mut frame = vec![0u8; 60];
+        let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+        eth.set_src_addr(MacAddr::local(3));
+        eth.set_dst_addr(MacAddr::local(4));
+        eth.set_ethertype(EtherType::Other(0x88cc)); // LLDP
+        let key = FlowKey::extract(&frame);
+        assert_eq!(key.eth_type, 0x88cc);
+        assert_eq!(key.ipv4_src, Ipv4Addr::UNSPECIFIED);
+        assert_eq!(key.l4_src, 0);
+    }
+
+    #[test]
+    fn identical_packets_have_identical_keys() {
+        let a = PacketBuilder::udp_probe(64).build();
+        let b = PacketBuilder::udp_probe(64).build();
+        assert_eq!(FlowKey::extract(&a), FlowKey::extract(&b));
+    }
+
+    #[test]
+    fn truncated_frame_yields_default_key() {
+        assert_eq!(FlowKey::extract(&[0u8; 5]), FlowKey::default());
+    }
+
+    #[test]
+    fn vlan_tag_is_unwrapped() {
+        // Hand-build an 802.1Q tagged UDP packet.
+        let inner = PacketBuilder::udp_probe(64)
+            .ports(7, 8)
+            .build();
+        let mut tagged = Vec::new();
+        tagged.extend_from_slice(&inner[0..12]); // MACs
+        tagged.extend_from_slice(&0x8100u16.to_be_bytes());
+        tagged.extend_from_slice(&100u16.to_be_bytes()); // VID 100
+        tagged.extend_from_slice(&inner[12..]); // original ethertype + rest
+        let key = FlowKey::extract(&tagged);
+        assert_eq!(key.vlan_id, 100);
+        assert_eq!(key.eth_type, 0x0800);
+        assert_eq!(key.l4_src, 7);
+        assert_eq!(key.l4_dst, 8);
+        assert_eq!(key.l3_offset(), 18);
+    }
+}

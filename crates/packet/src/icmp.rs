@@ -1,0 +1,216 @@
+//! ICMPv4 packet view (echo request/reply and the generic header), used by
+//! the `IcmpResponder` VNF and by diagnostics traffic in the examples.
+
+use crate::checksum;
+use crate::{Result, WireError};
+
+/// Length of the fixed ICMP header (type, code, checksum, rest-of-header).
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// ICMP message types the reproduction distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    EchoReply,
+    DestinationUnreachable,
+    EchoRequest,
+    TimeExceeded,
+    Other(u8),
+}
+
+impl IcmpType {
+    /// Wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IcmpType::EchoReply => 0,
+            IcmpType::DestinationUnreachable => 3,
+            IcmpType::EchoRequest => 8,
+            IcmpType::TimeExceeded => 11,
+            IcmpType::Other(v) => v,
+        }
+    }
+
+    /// From the wire value.
+    pub fn from_u8(v: u8) -> IcmpType {
+        match v {
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestinationUnreachable,
+            8 => IcmpType::EchoRequest,
+            11 => IcmpType::TimeExceeded,
+            other => IcmpType::Other(other),
+        }
+    }
+}
+
+/// A view over an ICMPv4 message (the IPv4 payload).
+#[derive(Debug, Clone)]
+pub struct IcmpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> IcmpPacket<T> {
+    /// Wraps a buffer without validation.
+    pub const fn new_unchecked(buffer: T) -> IcmpPacket<T> {
+        IcmpPacket { buffer }
+    }
+
+    /// Wraps a buffer, validating the length.
+    pub fn new_checked(buffer: T) -> Result<IcmpPacket<T>> {
+        let p = Self::new_unchecked(buffer);
+        p.check_len()?;
+        Ok(p)
+    }
+
+    /// Validates that the fixed header fits.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < ICMP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Consumes the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Message type.
+    pub fn icmp_type(&self) -> IcmpType {
+        IcmpType::from_u8(self.buffer.as_ref()[0])
+    }
+
+    /// Message code.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Echo identifier (meaningful for echo request/reply).
+    pub fn echo_ident(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// Echo sequence number (meaningful for echo request/reply).
+    pub fn echo_seq(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[6], d[7]])
+    }
+
+    /// True when the checksum over the whole message verifies.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::checksum(self.buffer.as_ref()) == 0
+    }
+
+    /// Echo payload bytes after the fixed header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[ICMP_HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> IcmpPacket<T> {
+    /// Sets the message type.
+    pub fn set_icmp_type(&mut self, t: IcmpType) {
+        self.buffer.as_mut()[0] = t.to_u8();
+    }
+
+    /// Sets the message code.
+    pub fn set_code(&mut self, code: u8) {
+        self.buffer.as_mut()[1] = code;
+    }
+
+    /// Sets the echo identifier.
+    pub fn set_echo_ident(&mut self, ident: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&ident.to_be_bytes());
+    }
+
+    /// Sets the echo sequence number.
+    pub fn set_echo_seq(&mut self, seq: u16) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Recomputes and writes the checksum over the whole message.
+    pub fn fill_checksum(&mut self) {
+        let d = self.buffer.as_mut();
+        d[2] = 0;
+        d[3] = 0;
+        let sum = checksum::checksum(d);
+        d[2..4].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    /// Mutable echo payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[ICMP_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_request(ident: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; ICMP_HEADER_LEN + payload.len()];
+        let mut p = IcmpPacket::new_unchecked(&mut buf[..]);
+        p.set_icmp_type(IcmpType::EchoRequest);
+        p.set_code(0);
+        p.set_echo_ident(ident);
+        p.set_echo_seq(seq);
+        p.payload_mut().copy_from_slice(payload);
+        p.fill_checksum();
+        buf
+    }
+
+    #[test]
+    fn echo_fields_roundtrip() {
+        let buf = echo_request(0x1234, 7, b"ping-payload");
+        let p = IcmpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.icmp_type(), IcmpType::EchoRequest);
+        assert_eq!(p.code(), 0);
+        assert_eq!(p.echo_ident(), 0x1234);
+        assert_eq!(p.echo_seq(), 7);
+        assert_eq!(p.payload(), b"ping-payload");
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn corruption_fails_checksum() {
+        let mut buf = echo_request(1, 1, b"data");
+        buf[9] ^= 0xff;
+        assert!(!IcmpPacket::new_checked(&buf[..]).unwrap().verify_checksum());
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        assert_eq!(
+            IcmpPacket::new_checked(&[8u8, 0, 0][..]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn type_values_match_rfc792() {
+        assert_eq!(IcmpType::EchoReply.to_u8(), 0);
+        assert_eq!(IcmpType::EchoRequest.to_u8(), 8);
+        assert_eq!(IcmpType::from_u8(3), IcmpType::DestinationUnreachable);
+        assert_eq!(IcmpType::from_u8(11), IcmpType::TimeExceeded);
+        assert_eq!(IcmpType::from_u8(42), IcmpType::Other(42));
+    }
+
+    #[test]
+    fn request_to_reply_in_place() {
+        let mut buf = echo_request(9, 9, b"x");
+        {
+            let mut p = IcmpPacket::new_unchecked(&mut buf[..]);
+            p.set_icmp_type(IcmpType::EchoReply);
+            p.fill_checksum();
+        }
+        let p = IcmpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.icmp_type(), IcmpType::EchoReply);
+        assert!(p.verify_checksum());
+        assert_eq!(p.echo_ident(), 9);
+    }
+}

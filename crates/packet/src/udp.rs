@@ -1,0 +1,190 @@
+//! UDP datagram view.
+
+use crate::checksum;
+use crate::{Result, WireError};
+use std::net::Ipv4Addr;
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A view over a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const LENGTH: Range<usize> = 4..6;
+    pub const CHECKSUM: Range<usize> = 6..8;
+    pub const PAYLOAD: usize = 8;
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps a buffer without validation.
+    pub const fn new_unchecked(buffer: T) -> UdpDatagram<T> {
+        UdpDatagram { buffer }
+    }
+
+    /// Wraps a buffer, validating the length field.
+    pub fn new_checked(buffer: T) -> Result<UdpDatagram<T>> {
+        let dgram = Self::new_unchecked(buffer);
+        dgram.check_len()?;
+        Ok(dgram)
+    }
+
+    /// Validates structural invariants.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < UDP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = usize::from(self.len_field());
+        if len < UDP_HEADER_LEN || data.len() < len {
+            return Err(WireError::BadLength);
+        }
+        Ok(())
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// UDP length field (header + payload).
+    pub fn len_field(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// Checksum field (0 means "not computed" for UDP over IPv4).
+    pub fn checksum_field(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[6], d[7]])
+    }
+
+    /// Verifies the checksum given the IPv4 pseudo-header addresses.
+    /// A zero checksum field is accepted (checksum disabled).
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let len = usize::from(self.len_field());
+        let segment = &self.buffer.as_ref()[..len];
+        let sum = checksum::pseudo_header_sum(src, dst, 17, len as u16) + checksum::raw_sum(segment);
+        checksum::fold(sum) == 0xffff
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        let len = usize::from(self.len_field()).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[field::PAYLOAD..len]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::SRC_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::DST_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the UDP length field.
+    pub fn set_len_field(&mut self, len: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Computes and writes the checksum for the given pseudo-header.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let len = usize::from(self.len_field());
+        let sum = checksum::transport_checksum(src, dst, 17, &self.buffer.as_ref()[..len]);
+        // Per RFC 768, a computed checksum of zero is transmitted as all-ones.
+        let sum = if sum == 0 { 0xffff } else { sum };
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    /// Mutable payload bytes.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = usize::from(self.len_field()).min(self.buffer.as_ref().len());
+        &mut self.buffer.as_mut()[field::PAYLOAD..len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; 20];
+        let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
+        d.set_src_port(5555);
+        d.set_dst_port(6666);
+        d.set_len_field(20);
+        d.payload_mut().copy_from_slice(&[9u8; 12]);
+        d.fill_checksum(SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let buf = sample();
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 5555);
+        assert_eq!(d.dst_port(), 6666);
+        assert_eq!(d.len_field(), 20);
+        assert_eq!(d.payload(), &[9u8; 12]);
+        assert!(d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn wrong_pseudo_header_fails_checksum() {
+        let buf = sample();
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!d.verify_checksum(SRC, Ipv4Addr::new(10, 0, 9, 9)));
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        let mut buf = sample();
+        buf[6] = 0;
+        buf[7] = 0;
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn rejects_len_field_larger_than_buffer() {
+        let mut buf = sample();
+        buf[4] = 0;
+        buf[5] = 200;
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength
+        );
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(
+            UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Bidirectional shared-memory packet channels.
+//!
+//! A channel is a pair of SPSC rings: each endpoint transmits on one ring
+//! and receives on the other. This is exactly the structure of a `dpdkr`
+//! port (VM endpoint ↔ vSwitch endpoint) and of a bypass connection
+//! (VM endpoint ↔ VM endpoint).
+
+use dpdk_sim::{spsc_ring, Mbuf, SpscConsumer, SpscProducer};
+
+/// One endpoint of a bidirectional packet channel.
+pub struct ChannelEnd {
+    name: String,
+    tx: SpscProducer<Mbuf>,
+    rx: SpscConsumer<Mbuf>,
+}
+
+/// Creates a channel whose two directions each hold `depth` packets.
+/// Returns the two endpoints `(a, b)`; bytes sent on `a` arrive at `b` and
+/// vice versa.
+pub fn channel(name: impl Into<String>, depth: usize) -> (ChannelEnd, ChannelEnd) {
+    let name = name.into();
+    let (a_tx, b_rx) = spsc_ring(depth);
+    let (b_tx, a_rx) = spsc_ring(depth);
+    (
+        ChannelEnd {
+            name: format!("{name}.a"),
+            tx: a_tx,
+            rx: a_rx,
+        },
+        ChannelEnd {
+            name: format!("{name}.b"),
+            tx: b_tx,
+            rx: b_rx,
+        },
+    )
+}
+
+impl ChannelEnd {
+    /// Endpoint name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sends one packet; hands it back when the ring is full.
+    pub fn send(&mut self, pkt: Mbuf) -> Result<(), Mbuf> {
+        self.tx.enqueue(pkt)
+    }
+
+    /// Sends as many packets as fit, draining them from the front of `pkts`;
+    /// returns how many were sent.
+    pub fn send_burst(&mut self, pkts: &mut Vec<Mbuf>) -> usize {
+        self.tx.enqueue_burst(pkts)
+    }
+
+    /// Receives one packet if available.
+    pub fn recv(&mut self) -> Option<Mbuf> {
+        self.rx.dequeue()
+    }
+
+    /// Receives up to `max` packets into `out`; returns how many arrived.
+    pub fn recv_burst(&mut self, out: &mut Vec<Mbuf>, max: usize) -> usize {
+        self.rx.dequeue_burst(out, max)
+    }
+
+    /// Packets waiting to be received by *this* endpoint.
+    pub fn pending_rx(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Packets sent by this endpoint not yet drained by the peer.
+    pub fn pending_tx(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Free slots on the transmit ring.
+    pub fn tx_free(&mut self) -> usize {
+        self.tx.free_space()
+    }
+
+    /// Capacity of each direction.
+    pub fn depth(&self) -> usize {
+        self.tx.capacity()
+    }
+
+    /// True when the peer endpoint has been dropped.
+    pub fn peer_gone(&self) -> bool {
+        self.tx.is_disconnected() || self.rx.is_disconnected()
+    }
+}
+
+impl std::fmt::Debug for ChannelEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelEnd")
+            .field("name", &self.name)
+            .field("pending_rx", &self.pending_rx())
+            .field("pending_tx", &self.pending_tx())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_directions_carry_packets() {
+        let (mut a, mut b) = channel("t", 8);
+        a.send(Mbuf::from_slice(&[1])).unwrap();
+        b.send(Mbuf::from_slice(&[2])).unwrap();
+        assert_eq!(b.recv().unwrap().data(), &[1]);
+        assert_eq!(a.recv().unwrap().data(), &[2]);
+        assert!(a.recv().is_none());
+    }
+
+    #[test]
+    fn burst_transfer_with_backpressure() {
+        let (mut a, mut b) = channel("t", 4);
+        let mut pkts: Vec<Mbuf> = (0u8..6).map(|i| Mbuf::from_slice(&[i])).collect();
+        assert_eq!(a.send_burst(&mut pkts), 4);
+        assert_eq!(pkts.len(), 2);
+        let mut out = Vec::new();
+        assert_eq!(b.recv_burst(&mut out, 16), 4);
+        assert_eq!(out[3].data(), &[3]);
+    }
+
+    #[test]
+    fn pending_counts() {
+        let (mut a, b) = channel("t", 8);
+        a.send(Mbuf::from_slice(&[0])).unwrap();
+        a.send(Mbuf::from_slice(&[1])).unwrap();
+        assert_eq!(a.pending_tx(), 2);
+        assert_eq!(b.pending_rx(), 2);
+        assert_eq!(a.pending_rx(), 0);
+    }
+
+    #[test]
+    fn peer_drop_detection() {
+        let (a, b) = channel("t", 2);
+        assert!(!a.peer_gone());
+        drop(b);
+        assert!(a.peer_gone());
+    }
+
+    #[test]
+    fn cross_thread_duplex() {
+        let (mut a, mut b) = channel("t", 64);
+        let t = std::thread::spawn(move || {
+            // Echo 1000 packets back with a marker appended.
+            let mut echoed = 0;
+            while echoed < 1000 {
+                if let Some(mut m) = b.recv() {
+                    m.append(1)[0] = 0xEE;
+                    while let Err(ret) = b.send(m) {
+                        m = ret;
+                        std::thread::yield_now();
+                    }
+                    echoed += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        // Deadline so a regression fails loudly instead of spinning the
+        // test binary forever.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let mut received = 0;
+        let mut sent = 0u64;
+        while received < 1000 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "duplex stalled: sent={sent} received={received}"
+            );
+            if sent < 1000 {
+                let m = Mbuf::from_slice(&sent.to_be_bytes());
+                if a.send(m).is_ok() {
+                    sent += 1; // on Err the mbuf is rebuilt next iteration
+                }
+            }
+            if let Some(m) = a.recv() {
+                assert_eq!(m.len(), 9);
+                assert_eq!(m.data()[8], 0xEE);
+                received += 1;
+            } else if sent == 1000 {
+                std::thread::yield_now();
+            }
+        }
+        t.join().unwrap();
+    }
+}

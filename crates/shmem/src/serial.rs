@@ -1,0 +1,128 @@
+//! virtio-serial control channel model.
+//!
+//! The compute agent talks to each guest PMD over a virtio-serial device —
+//! a reliable, ordered, bidirectional message pipe. We model it as a typed
+//! duplex channel with blocking and non-blocking receive, which is all the
+//! prototype's control protocol needs.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Errors surfaced by [`SerialPort`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerialError {
+    /// The peer end has been dropped (device unplugged / VM destroyed).
+    Disconnected,
+    /// No message arrived before the timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for SerialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerialError::Disconnected => write!(f, "serial peer disconnected"),
+            SerialError::Timeout => write!(f, "serial receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+/// One end of a virtio-serial-like control channel carrying messages of
+/// type `T`.
+pub struct SerialPort<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+    name: String,
+}
+
+/// Creates a connected pair of serial ports.
+pub fn serial_pair<T>(name: impl Into<String>) -> (SerialPort<T>, SerialPort<T>) {
+    let name = name.into();
+    let (atx, brx) = unbounded();
+    let (btx, arx) = unbounded();
+    (
+        SerialPort {
+            tx: atx,
+            rx: arx,
+            name: format!("{name}.host"),
+        },
+        SerialPort {
+            tx: btx,
+            rx: brx,
+            name: format!("{name}.guest"),
+        },
+    )
+}
+
+impl<T> SerialPort<T> {
+    /// Port name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sends a message to the peer.
+    pub fn send(&self, msg: T) -> Result<(), SerialError> {
+        self.tx.send(msg).map_err(|_| SerialError::Disconnected)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, SerialError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => SerialError::Timeout,
+            RecvTimeoutError::Disconnected => SerialError::Disconnected,
+        })
+    }
+
+    /// Messages waiting to be received.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_messaging() {
+        let (host, guest) = serial_pair::<u32>("vm1");
+        host.send(1).unwrap();
+        guest.send(2).unwrap();
+        assert_eq!(guest.try_recv(), Some(1));
+        assert_eq!(host.try_recv(), Some(2));
+        assert_eq!(host.try_recv(), None);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (host, guest) = serial_pair::<u8>("vm2");
+        assert_eq!(
+            host.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            SerialError::Timeout
+        );
+        drop(guest);
+        assert_eq!(host.send(1).unwrap_err(), SerialError::Disconnected);
+        assert_eq!(
+            host.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            SerialError::Disconnected
+        );
+    }
+
+    #[test]
+    fn ordering_is_preserved() {
+        let (host, guest) = serial_pair::<u32>("vm3");
+        for i in 0..100 {
+            host.send(i).unwrap();
+        }
+        assert_eq!(guest.pending(), 100);
+        for i in 0..100 {
+            assert_eq!(guest.try_recv(), Some(i));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Ablation studies around the paper's design choices.
+//!
+//! The paper reports two figures and two in-text claims; these sweeps
+//! answer the questions a reviewer (or an operator sizing a deployment)
+//! asks next:
+//!
+//! * [`frame_size_sweep`] — Fig. 3(b) at other frame sizes: the 64 B
+//!   workload maximises per-packet overhead, so where does the win go at
+//!   realistic MTUs?
+//! * [`emc_sweep`] — how much of vanilla's cost is classification? The
+//!   bypass skips the whole switch, so its advantage must *grow* as the
+//!   EMC degrades.
+//! * [`vnf_cost_crossover`] — the evaluation's VNFs are nearly free
+//!   (`l2fwd`); with heavier apps the VM cores become the bottleneck in
+//!   both modes and the highway's advantage fades. Where is the
+//!   crossover?
+//! * [`pmd_core_scaling`] — vanilla can also buy throughput with more
+//!   switch cores: how many PMD cores must the operator burn to match one
+//!   highway chain?
+
+use crate::costs::CostModel;
+use crate::solver::solve;
+use crate::topology::{ChainSpec, Mode};
+
+/// One x-point of a sweep: both modes' values at that x.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The swept parameter's value.
+    pub x: f64,
+    /// Vanilla OvS-DPDK value.
+    pub traditional: f64,
+    /// Transparent-highway value.
+    pub highway: f64,
+    /// Unit of the y values.
+    pub unit: &'static str,
+}
+
+impl SweepRow {
+    /// Highway-to-traditional ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.traditional > 0.0 {
+            self.highway / self.traditional
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Fig. 3(b)'s chain at other frame sizes (aggregate Mpps, N fixed).
+///
+/// At 64 B the chain is packet-rate bound and the highway's per-packet
+/// savings dominate; at 1518 B both modes hit the 10 G wire and converge.
+pub fn frame_size_sweep(n_vms: usize, cost: &CostModel) -> Vec<SweepRow> {
+    let cost = cost.with_pmd_cores(3.0);
+    [64usize, 128, 256, 512, 1024, 1518]
+        .iter()
+        .map(|&frame_len| {
+            let spec = |mode| ChainSpec {
+                n_vms,
+                mode,
+                edge: crate::topology::EdgeKind::Nic {
+                    gbps: 10.0,
+                    frame_len,
+                },
+            };
+            SweepRow {
+                x: frame_len as f64,
+                traditional: solve(&spec(Mode::Vanilla), &cost).aggregate_mpps,
+                highway: solve(&spec(Mode::Highway), &cost).aggregate_mpps,
+                unit: "Mpps",
+            }
+        })
+        .collect()
+}
+
+/// Memory-only chain (N fixed) as the EMC hit rate degrades from 1.0
+/// (the evaluation's steady state) to 0.0 (every packet pays the
+/// tuple-space classifier).
+pub fn emc_sweep(n_vms: usize, cost: &CostModel) -> Vec<SweepRow> {
+    [1.0f64, 0.9, 0.75, 0.5, 0.25, 0.0]
+        .iter()
+        .map(|&rate| {
+            let mut c = cost.with_pmd_cores(1.0);
+            c.emc_hit_rate = rate;
+            SweepRow {
+                x: rate,
+                traditional: solve(&ChainSpec::memory(n_vms, Mode::Vanilla), &c).aggregate_mpps,
+                highway: solve(&ChainSpec::memory(n_vms, Mode::Highway), &c).aggregate_mpps,
+                unit: "Mpps",
+            }
+        })
+        .collect()
+}
+
+/// Memory-only chain (N fixed) as the per-packet VNF application cost
+/// grows from the evaluation's trivial forwarder towards DPI-class work.
+pub fn vnf_cost_crossover(n_vms: usize, cost: &CostModel) -> Vec<SweepRow> {
+    [100.0f64, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0]
+        .iter()
+        .map(|&cycles| {
+            let mut c = cost.with_pmd_cores(1.0);
+            c.vnf_app = cycles;
+            SweepRow {
+                x: cycles,
+                traditional: solve(&ChainSpec::memory(n_vms, Mode::Vanilla), &c).aggregate_mpps,
+                highway: solve(&ChainSpec::memory(n_vms, Mode::Highway), &c).aggregate_mpps,
+                unit: "Mpps",
+            }
+        })
+        .collect()
+}
+
+/// The smallest swept VNF cost at which the highway's advantage drops
+/// under `threshold` (e.g. 1.1 = "within 10 % of vanilla"), if any.
+pub fn crossover_point(rows: &[SweepRow], threshold: f64) -> Option<f64> {
+    rows.iter().find(|r| r.speedup() <= threshold).map(|r| r.x)
+}
+
+/// Vanilla throughput of the N-VM memory chain as switch PMD cores are
+/// added, against the (single-PMD-irrelevant) highway value. The
+/// `traditional` column sweeps cores; `highway` is constant — the point is
+/// how many cores buy parity.
+pub fn pmd_core_scaling(n_vms: usize, cost: &CostModel) -> Vec<SweepRow> {
+    let highway = solve(
+        &ChainSpec::memory(n_vms, Mode::Highway),
+        &cost.with_pmd_cores(1.0),
+    )
+    .aggregate_mpps;
+    (1..=8)
+        .map(|cores| SweepRow {
+            x: cores as f64,
+            traditional: solve(
+                &ChainSpec::memory(n_vms, Mode::Vanilla),
+                &cost.with_pmd_cores(cores as f64),
+            )
+            .aggregate_mpps,
+            highway,
+            unit: "Mpps",
+        })
+        .collect()
+}
+
+/// PMD cores vanilla needs before it matches the highway (None if even 8
+/// are not enough).
+pub fn cores_for_parity(rows: &[SweepRow]) -> Option<u32> {
+    rows.iter()
+        .find(|r| r.traditional >= r.highway)
+        .map(|r| r.x as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::paper_testbed()
+    }
+
+    #[test]
+    fn frame_sweep_converges_on_the_wire() {
+        let rows = frame_size_sweep(4, &cost());
+        assert_eq!(rows.len(), 6);
+        // 64 B: CPU-bound, big gap. 1518 B: both at wire rate, gap gone.
+        assert!(rows[0].speedup() > 1.5, "64 B speedup {:.2}", rows[0].speedup());
+        let last = rows.last().unwrap();
+        assert!(
+            (last.speedup() - 1.0).abs() < 0.05,
+            "1518 B speedup {:.2} should be ~1 (wire-bound)",
+            last.speedup()
+        );
+        // Mpps declines with frame size for the highway (wire economics).
+        assert!(rows[0].highway > last.highway);
+    }
+
+    #[test]
+    fn emc_degradation_widens_the_gap() {
+        let rows = emc_sweep(4, &cost());
+        let at_full = rows.first().unwrap().speedup();
+        let at_zero = rows.last().unwrap().speedup();
+        assert!(at_zero > at_full * 1.5, "{at_zero:.1} vs {at_full:.1}");
+        // Highway is unaffected by EMC quality (it skips the switch).
+        assert!((rows[0].highway - rows[5].highway).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heavy_vnfs_erase_the_advantage() {
+        let rows = vnf_cost_crossover(4, &cost());
+        assert!(rows[0].speedup() > 2.0, "cheap apps: big win");
+        let heavy = rows.last().unwrap();
+        assert!(
+            heavy.speedup() < 1.3,
+            "at 8000 cycles/pkt the VM is the bottleneck either way ({:.2})",
+            heavy.speedup()
+        );
+        let x = crossover_point(&rows, 1.3).expect("crossover exists");
+        assert!(x >= 1000.0, "crossover at {x} cycles");
+        // Monotone: speedup never grows with app cost.
+        for w in rows.windows(2) {
+            assert!(w[1].speedup() <= w[0].speedup() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn parity_costs_multiple_pmd_cores() {
+        let rows = pmd_core_scaling(8, &cost());
+        let parity = cores_for_parity(&rows);
+        assert!(
+            parity.map(|c| c >= 3).unwrap_or(true),
+            "an 8-VM chain must cost vanilla ≥3 switch cores to match, got {parity:?}"
+        );
+        // More cores help vanilla monotonically until VM-bound.
+        for w in rows.windows(2) {
+            assert!(w[1].traditional >= w[0].traditional - 1e-9);
+        }
+    }
+}

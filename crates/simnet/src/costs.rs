@@ -1,0 +1,147 @@
+//! Per-packet cycle costs.
+//!
+//! Quoted at the testbed's nominal 3 GHz. Derived from two sources, in this
+//! order of authority:
+//!
+//! 1. the `highway-bench` Criterion microbenchmarks of *this repository's*
+//!    real code (ring ops, EMC lookups, classifier misses, PMD mux) — run
+//!    `cargo bench -p highway-bench` and compare;
+//! 2. the OVS-DPDK performance literature for the absolute anchors the
+//!    simulation cannot reproduce (≈ 250–300 cycles per EMC-hit switch
+//!    traversal ⇒ 10–12 Mpps per PMD core; single-core l2fwd VMs around
+//!    8–17 Mpps), which the paper's testbed class is known for.
+
+/// Cycle costs of path components (per packet, burst-amortised).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// CPU frequency the costs are quoted against.
+    pub cpu_hz: f64,
+    /// PMD cores the vSwitch runs (the paper's server dedicates cores to
+    /// OvS; two 10 G ports ⇒ two PMD cores is the customary sizing).
+    pub ovs_pmd_cores: f64,
+    /// Enqueue one packet on an SPSC ring (burst-amortised).
+    pub ring_enqueue: f64,
+    /// Dequeue one packet from an SPSC ring (burst-amortised).
+    pub ring_dequeue: f64,
+    /// Flow-key extraction + EMC hit inside the switch.
+    pub emc_hit: f64,
+    /// Extra cycles when the EMC misses into the tuple-space classifier.
+    pub classifier_extra: f64,
+    /// EMC hit probability in steady state (chains: stable flows ⇒ ~1.0).
+    pub emc_hit_rate: f64,
+    /// Executing the matched output action (batched).
+    pub ovs_action: f64,
+    /// NIC driver rx+tx overhead per packet on a physical port.
+    pub nic_driver: f64,
+    /// The guest application's per-packet work (paper's forwarder).
+    pub vnf_app: f64,
+    /// Cost of polling one empty port (discovery latency term).
+    pub empty_poll: f64,
+    /// Source VM per-packet generation cost.
+    pub gen_cost: f64,
+    /// Sink VM per-packet accounting cost.
+    pub sink_cost: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+impl CostModel {
+    /// Overrides the number of PMD cores dedicated to the vSwitch.
+    ///
+    /// OVS-DPDK sizes its PMD set to the ports it must poll: the memory-only
+    /// experiment (no physical ports) runs the default single PMD core,
+    /// while the NIC experiment dedicates cores to the two physical ports
+    /// plus the dpdkr rings (three in our calibration).
+    pub fn with_pmd_cores(mut self, cores: f64) -> CostModel {
+        self.ovs_pmd_cores = cores;
+        self
+    }
+
+    /// Calibration for the paper's testbed (E5-2690 v2 @ 3 GHz).
+    pub fn paper_testbed() -> CostModel {
+        CostModel {
+            cpu_hz: 3.0e9,
+            ovs_pmd_cores: 2.0,
+            ring_enqueue: 40.0,
+            ring_dequeue: 40.0,
+            emc_hit: 120.0,
+            classifier_extra: 450.0,
+            emc_hit_rate: 1.0,
+            ovs_action: 60.0,
+            nic_driver: 70.0,
+            vnf_app: 100.0,
+            empty_poll: 55.0,
+            gen_cost: 90.0,
+            sink_cost: 60.0,
+        }
+    }
+
+    /// Switch-side cost of carrying one packet across one seam
+    /// (dequeue from source port, classify, act, enqueue to destination).
+    pub fn ovs_crossing(&self) -> f64 {
+        self.ring_dequeue
+            + self.emc_hit
+            + (1.0 - self.emc_hit_rate) * self.classifier_extra
+            + self.ovs_action
+            + self.ring_enqueue
+    }
+
+    /// Switch-side cost of a seam whose endpoint is a physical NIC.
+    pub fn ovs_nic_crossing(&self) -> f64 {
+        self.ovs_crossing() + self.nic_driver
+    }
+
+    /// A forwarding VM's per-packet cost (receive, process, send).
+    pub fn vm_forward(&self) -> f64 {
+        self.ring_dequeue + self.vnf_app + self.ring_enqueue
+    }
+
+    /// Total switch capacity in cycles/second.
+    pub fn ovs_capacity_cycles(&self) -> f64 {
+        self.ovs_pmd_cores * self.cpu_hz
+    }
+
+    /// Implied single-core switch forwarding rate (sanity anchor:
+    /// OVS-DPDK does ≈10–12 Mpps/core phy-phy with EMC hits).
+    pub fn implied_ovs_mpps_per_core(&self) -> f64 {
+        self.cpu_hz / self.ovs_crossing() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_known_anchors() {
+        let c = CostModel::paper_testbed();
+        let per_core = c.implied_ovs_mpps_per_core();
+        assert!(
+            (9.0..=13.0).contains(&per_core),
+            "OVS-DPDK per-core rate {per_core:.1} Mpps out of the known 10-12 band"
+        );
+        let vm_mpps = c.cpu_hz / c.vm_forward() / 1e6;
+        assert!(
+            (10.0..=20.0).contains(&vm_mpps),
+            "single-core forwarder {vm_mpps:.1} Mpps out of the plausible band"
+        );
+    }
+
+    #[test]
+    fn emc_misses_are_more_expensive() {
+        let mut c = CostModel::paper_testbed();
+        let hit = c.ovs_crossing();
+        c.emc_hit_rate = 0.0;
+        assert!(c.ovs_crossing() > hit + 400.0);
+    }
+
+    #[test]
+    fn nic_crossing_includes_driver() {
+        let c = CostModel::paper_testbed();
+        assert!(c.ovs_nic_crossing() > c.ovs_crossing());
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-packet latency model.
+//!
+//! Latency of a poll-mode chain is dominated by two terms per seam:
+//!
+//! 1. **discovery** — how long a packet sits in a ring before the consumer's
+//!    round-robin poll reaches that ring: on average half a polling sweep
+//!    over the consumer's ports;
+//! 2. **sojourn** — service time inflated by queueing as the serving core
+//!    approaches saturation, modelled M/M/1-style as `service / (1 - ρ)`.
+//!
+//! The vanilla path pays both terms *twice* per seam (once into the switch,
+//! once out of it) and shares one ρ across every seam the switch carries —
+//! which is why long chains hurt so much. The bypass path pays a single
+//! ring hop polled by a two-port guest.
+
+use crate::costs::CostModel;
+use crate::solver::{solve, utilisation_at};
+use crate::topology::{ChainSpec, EdgeKind, Mode};
+
+/// A latency estimate for one chain configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyEstimate {
+    /// Mean one-way latency in microseconds.
+    pub one_way_us: f64,
+    /// Utilisation of the switch at the offered load (0 when bypassed).
+    pub ovs_utilisation: f64,
+}
+
+/// Mean one-way latency of a chain at `load_fraction` of the *vanilla*
+/// configuration's capacity (so both modes are compared at the same
+/// absolute offered load, like the paper's latency experiment).
+pub fn estimate(spec: &ChainSpec, cost: &CostModel, offered_pps_per_direction: f64) -> LatencyEstimate {
+    let rho_ovs = utilisation_at(spec, cost, "ovs-pmd", offered_pps_per_direction);
+
+    // Ports the switch polls: every dpdkr port (2 per VM) + NIC ports.
+    let switch_ports = (2 * spec.n_vms + spec.nic_seams()) as f64;
+    let switch_discovery = switch_ports / 2.0 * cost.empty_poll;
+    let vm_discovery = 2.0 / 2.0 * cost.empty_poll; // a VM polls its 2 ports
+
+    let ovs_seam =
+        switch_discovery + (cost.ovs_crossing() / (1.0 - rho_ovs)) + vm_discovery;
+    let bypass_seam = vm_discovery + cost.ring_enqueue + cost.ring_dequeue;
+
+    let vm_hop = cost.vnf_app; // processing inside each forwarding VM
+
+    let (vm_seams, nic_seams) = (spec.vm_seams() as f64, spec.nic_seams() as f64);
+    let nic_wire = match spec.edge {
+        EdgeKind::Memory => 0.0,
+        // Serialisation delay of one 64 B frame at 10 G is negligible
+        // (~67 ns) but included for completeness.
+        EdgeKind::Nic { gbps, frame_len } => {
+            2.0 * (((frame_len + 20) * 8) as f64 / (gbps * 1e9)) * cost.cpu_hz
+        }
+    };
+
+    let cycles = match spec.mode {
+        Mode::Vanilla => {
+            nic_seams * ovs_seam + vm_seams * ovs_seam + spec.forwarding_vms() as f64 * vm_hop
+                + nic_wire
+        }
+        Mode::Highway => {
+            nic_seams * ovs_seam + vm_seams * bypass_seam
+                + spec.forwarding_vms() as f64 * vm_hop
+                + nic_wire
+        }
+    };
+
+    LatencyEstimate {
+        one_way_us: cycles / cost.cpu_hz * 1e6,
+        ovs_utilisation: rho_ovs,
+    }
+}
+
+/// Compares both modes at the same offered load (a fraction of vanilla
+/// capacity) and returns `(vanilla, highway, improvement_fraction)`.
+pub fn compare(n_vms: usize, edge_nic: bool, cost: &CostModel, load_fraction: f64) -> (LatencyEstimate, LatencyEstimate, f64) {
+    let (vanilla_spec, highway_spec) = if edge_nic {
+        (ChainSpec::nic(n_vms, Mode::Vanilla), ChainSpec::nic(n_vms, Mode::Highway))
+    } else {
+        (
+            ChainSpec::memory(n_vms, Mode::Vanilla),
+            ChainSpec::memory(n_vms, Mode::Highway),
+        )
+    };
+    let offered = solve(&vanilla_spec, cost).per_direction_pps * load_fraction;
+    let v = estimate(&vanilla_spec, cost, offered);
+    let h = estimate(&highway_spec, cost, offered);
+    let improvement = 1.0 - h.one_way_us / v.one_way_us;
+    (v, h, improvement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_chain_length() {
+        let cost = CostModel::paper_testbed();
+        let (v4, _, _) = compare(4, true, &cost, 0.9);
+        let (v8, _, _) = compare(8, true, &cost, 0.9);
+        assert!(v8.one_way_us > v4.one_way_us);
+    }
+
+    #[test]
+    fn paper_claim_80_percent_at_8_vms() {
+        let cost = CostModel::paper_testbed();
+        let (_, _, improvement) = compare(8, true, &cost, 0.9);
+        assert!(
+            (0.70..=0.92).contains(&improvement),
+            "improvement {improvement:.2} strays from the paper's ~80 %"
+        );
+    }
+
+    #[test]
+    fn improvement_grows_with_chain_length() {
+        let cost = CostModel::paper_testbed();
+        let mut last = 0.0;
+        for n in 2..=8 {
+            let (_, _, imp) = compare(n, true, &cost, 0.9);
+            assert!(imp >= last - 0.02, "improvement shrank at n={n}");
+            last = imp;
+        }
+    }
+
+    #[test]
+    fn unloaded_latencies_are_sub_10us() {
+        let cost = CostModel::paper_testbed();
+        let (v, h, _) = compare(8, true, &cost, 0.1);
+        assert!(v.one_way_us < 10.0, "vanilla {0:.2} µs", v.one_way_us);
+        assert!(h.one_way_us < v.one_way_us);
+    }
+}

@@ -1,0 +1,121 @@
+//! Control-plane latency model.
+//!
+//! The data path of the reproduction is real code; the *hardware control*
+//! operations (QEMU ivshmem hot-plug, virtio-serial scheduling) are where
+//! the simulation substitutes sleeps for hypervisor work. The defaults are
+//! calibrated so a full one-direction bypass setup lands near the ~100 ms
+//! the paper reports (two hot-plugs plus a handful of serial round-trips),
+//! with ±20 % uniform jitter so distributions look like measurements, not
+//! constants.
+
+use std::time::Duration;
+
+/// Delays applied by the compute agent around control operations.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// One QEMU `device_add` of an ivshmem device.
+    pub ivshmem_plug: Duration,
+    /// One QEMU `device_del`.
+    pub ivshmem_unplug: Duration,
+    /// One virtio-serial request/ack round-trip (scheduling + guest apply).
+    pub serial_rtt: Duration,
+    /// Relative jitter applied to every delay (0.0 = deterministic).
+    pub jitter: f64,
+}
+
+impl LatencyModel {
+    /// Calibrated to the paper's testbed: setup ≈ 2×35 ms (plugs)
+    /// + 4×7 ms (map/map/enable-rx/enable-tx round-trips) ≈ 98 ms.
+    pub fn paper() -> LatencyModel {
+        LatencyModel {
+            ivshmem_plug: Duration::from_millis(35),
+            ivshmem_unplug: Duration::from_millis(15),
+            serial_rtt: Duration::from_millis(7),
+            jitter: 0.2,
+        }
+    }
+
+    /// No artificial delays (unit tests, functional integration tests).
+    pub fn zero() -> LatencyModel {
+        LatencyModel {
+            ivshmem_plug: Duration::ZERO,
+            ivshmem_unplug: Duration::ZERO,
+            serial_rtt: Duration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    fn jittered(&self, base: Duration) -> Duration {
+        if self.jitter == 0.0 || base.is_zero() {
+            return base;
+        }
+        let spread = self.jitter.clamp(0.0, 1.0);
+        let factor = 1.0 - spread + 2.0 * spread * rand::random::<f64>();
+        base.mul_f64(factor)
+    }
+
+    /// Sleeps for a jittered hot-plug delay.
+    pub fn sleep_plug(&self) {
+        sleep_nonzero(self.jittered(self.ivshmem_plug));
+    }
+
+    /// Sleeps for a jittered unplug delay.
+    pub fn sleep_unplug(&self) {
+        sleep_nonzero(self.jittered(self.ivshmem_unplug));
+    }
+
+    /// Sleeps for a jittered serial round-trip delay.
+    pub fn sleep_serial(&self) {
+        sleep_nonzero(self.jittered(self.serial_rtt));
+    }
+
+    /// The deterministic (jitter-free) expected setup time for one bypass
+    /// direction on a fresh segment: 2 plugs + 4 serial round-trips.
+    pub fn nominal_setup(&self) -> Duration {
+        self.ivshmem_plug * 2 + self.serial_rtt * 4
+    }
+}
+
+fn sleep_nonzero(d: Duration) {
+    if !d.is_zero() {
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_lands_near_100ms() {
+        let nominal = LatencyModel::paper().nominal_setup();
+        assert!(
+            nominal >= Duration::from_millis(80) && nominal <= Duration::from_millis(120),
+            "nominal setup {nominal:?} strays from the paper's ~100 ms"
+        );
+    }
+
+    #[test]
+    fn zero_model_never_sleeps_long() {
+        let m = LatencyModel::zero();
+        let start = std::time::Instant::now();
+        m.sleep_plug();
+        m.sleep_serial();
+        m.sleep_unplug();
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let m = LatencyModel {
+            ivshmem_plug: Duration::from_millis(100),
+            ivshmem_unplug: Duration::ZERO,
+            serial_rtt: Duration::ZERO,
+            jitter: 0.2,
+        };
+        for _ in 0..100 {
+            let d = m.jittered(m.ivshmem_plug);
+            assert!(d >= Duration::from_millis(80) && d <= Duration::from_millis(120));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The PMD control protocol.
+//!
+//! These messages travel over the VM's virtio-serial device, from the
+//! compute agent (host) to the guest runner, which applies them to the
+//! addressed PMD between polling bursts. Every request carries a sequence
+//! number; the guest answers with a [`PmdAck`] carrying the same number, so
+//! the agent can drive the setup/teardown state machines synchronously —
+//! this request/ack round-trip is part of the ~100 ms setup latency the
+//! paper reports.
+
+/// A control request addressed to one guest PMD (by OpenFlow port number).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmdCtrl {
+    /// Map the ivshmem device backing `segment` as the bypass channel of
+    /// port `of_port` (directions stay disabled until enabled explicitly).
+    MapBypass {
+        seq: u64,
+        of_port: u32,
+        segment: String,
+    },
+    /// Start transmitting through the bypass. `rule_cookie` identifies the
+    /// OpenFlow rule whose counters the PMD must maintain in the shared
+    /// stats region; `peer_port` is the destination port whose tx counters
+    /// bypassed packets belong to.
+    EnableTx {
+        seq: u64,
+        of_port: u32,
+        rule_cookie: u64,
+        peer_port: u32,
+    },
+    /// Start polling the bypass on receive.
+    EnableRx { seq: u64, of_port: u32 },
+    /// Stop transmitting through the bypass (new packets take the normal
+    /// channel again). First step of a lossless teardown.
+    DisableTx { seq: u64, of_port: u32 },
+    /// Drain any packets still in the bypass receive ring, then stop
+    /// polling it. Second step of a lossless teardown; the ack reports how
+    /// many packets were drained.
+    DisableRxDrain { seq: u64, of_port: u32 },
+    /// Drop the bypass channel endpoint entirely (after both directions
+    /// are disabled). The agent unplugs the ivshmem device afterwards.
+    UnmapBypass { seq: u64, of_port: u32 },
+}
+
+impl PmdCtrl {
+    /// The sequence number of this request.
+    pub fn seq(&self) -> u64 {
+        match self {
+            PmdCtrl::MapBypass { seq, .. }
+            | PmdCtrl::EnableTx { seq, .. }
+            | PmdCtrl::EnableRx { seq, .. }
+            | PmdCtrl::DisableTx { seq, .. }
+            | PmdCtrl::DisableRxDrain { seq, .. }
+            | PmdCtrl::UnmapBypass { seq, .. } => *seq,
+        }
+    }
+
+    /// The target port of this request.
+    pub fn of_port(&self) -> u32 {
+        match self {
+            PmdCtrl::MapBypass { of_port, .. }
+            | PmdCtrl::EnableTx { of_port, .. }
+            | PmdCtrl::EnableRx { of_port, .. }
+            | PmdCtrl::DisableTx { of_port, .. }
+            | PmdCtrl::DisableRxDrain { of_port, .. }
+            | PmdCtrl::UnmapBypass { of_port, .. } => *of_port,
+        }
+    }
+}
+
+/// The guest's acknowledgement of a control request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmdAck {
+    /// Sequence number of the acknowledged request.
+    pub seq: u64,
+    /// Port the request addressed.
+    pub of_port: u32,
+    /// `false` when the request could not be applied (e.g. unknown port or
+    /// segment) — the agent treats that as a setup failure and rolls back.
+    pub ok: bool,
+    /// Packets drained from the bypass rx ring (for `DisableRxDrain`).
+    pub drained: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let msgs = [
+            PmdCtrl::MapBypass {
+                seq: 1,
+                of_port: 10,
+                segment: "s".into(),
+            },
+            PmdCtrl::EnableTx {
+                seq: 2,
+                of_port: 11,
+                rule_cookie: 7,
+                peer_port: 12,
+            },
+            PmdCtrl::EnableRx { seq: 3, of_port: 12 },
+            PmdCtrl::DisableTx { seq: 4, of_port: 13 },
+            PmdCtrl::DisableRxDrain { seq: 5, of_port: 14 },
+            PmdCtrl::UnmapBypass { seq: 6, of_port: 15 },
+        ];
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(m.seq(), (i + 1) as u64);
+            assert_eq!(m.of_port(), (i + 10) as u32);
+        }
+    }
+}

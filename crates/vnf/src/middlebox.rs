@@ -1,0 +1,693 @@
+//! Additional middlebox VNFs beyond the paper's motivating trio.
+//!
+//! These are the functions an NFV operator actually chains — NAT, policer,
+//! load balancer, DPI — implemented against the same [`VnfApp`] trait, so
+//! every example and experiment can compose them freely. They also give the
+//! transparency tests more interesting material than a pure forwarder: NAT
+//! and the balancer *rewrite* headers, the policer *drops*, DPI *inspects
+//! payloads* — none of which may behave differently over a bypass channel.
+//!
+//! Convention used throughout (matching the chain topology of the
+//! evaluation): port index 0 faces "inside"/upstream, port index 1 faces
+//! "outside"/downstream.
+
+use crate::apps::{Verdict, VnfApp};
+use dpdk_sim::{cycles, Mbuf};
+use packet_wire::{FlowKey, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Rewrites the L3/L4 headers of a frame in place, fixing checksums.
+/// `None` fields keep the packet's current value.
+fn rewrite(
+    pkt: &mut Mbuf,
+    key: &FlowKey,
+    src: Option<Ipv4Addr>,
+    dst: Option<Ipv4Addr>,
+    l4_src: Option<u16>,
+    l4_dst: Option<u16>,
+) -> bool {
+    let l3_off = key.l3_offset();
+    let data = pkt.data_mut();
+    if data.len() <= l3_off {
+        return false;
+    }
+    let Ok(mut ip) = Ipv4Packet::new_checked(&mut data[l3_off..]) else {
+        return false;
+    };
+    if let Some(a) = src {
+        ip.set_src_addr(a);
+    }
+    if let Some(a) = dst {
+        ip.set_dst_addr(a);
+    }
+    ip.fill_checksum();
+    let (new_src, new_dst) = (ip.src_addr(), ip.dst_addr());
+    let header_len = ip.header_len();
+    let proto = ip.protocol();
+    let l4 = &mut data[l3_off + header_len..];
+    match proto {
+        IpProtocol::Udp => {
+            let Ok(mut udp) = UdpDatagram::new_checked(l4) else {
+                return false;
+            };
+            if let Some(p) = l4_src {
+                udp.set_src_port(p);
+            }
+            if let Some(p) = l4_dst {
+                udp.set_dst_port(p);
+            }
+            udp.fill_checksum(new_src, new_dst);
+        }
+        IpProtocol::Tcp => {
+            let Ok(mut tcp) = TcpSegment::new_checked(l4) else {
+                return false;
+            };
+            if let Some(p) = l4_src {
+                tcp.set_src_port(p);
+            }
+            if let Some(p) = l4_dst {
+                tcp.set_dst_port(p);
+            }
+            tcp.fill_checksum(new_src, new_dst);
+        }
+        _ => {}
+    }
+    true
+}
+
+/// Source NAT (NAPT): inside traffic (port 0) leaves with the public
+/// address and a translated source port; return traffic (port 1) is
+/// translated back. Unknown inbound flows are dropped, like a real NAT.
+pub struct Nat44 {
+    public_ip: Ipv4Addr,
+    next_port: u16,
+    /// (proto, inside ip, inside port) → translated port.
+    outbound: HashMap<(u8, Ipv4Addr, u16), u16>,
+    /// (proto, translated port) → (inside ip, inside port).
+    inbound: HashMap<(u8, u16), (Ipv4Addr, u16)>,
+    /// Outbound packets translated.
+    pub translated_out: u64,
+    /// Inbound packets translated back.
+    pub translated_in: u64,
+    /// Inbound packets with no mapping (dropped).
+    pub rejected: u64,
+}
+
+impl Nat44 {
+    /// A NAT translating to `public_ip`, allocating ports from 40000 up.
+    pub fn new(public_ip: Ipv4Addr) -> Nat44 {
+        Nat44 {
+            public_ip,
+            next_port: 40_000,
+            outbound: HashMap::new(),
+            inbound: HashMap::new(),
+            translated_out: 0,
+            translated_in: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Live translation entries.
+    pub fn table_size(&self) -> usize {
+        self.outbound.len()
+    }
+}
+
+impl VnfApp for Nat44 {
+    fn name(&self) -> &str {
+        "nat44"
+    }
+
+    fn process(&mut self, pkt: &mut Mbuf, in_port_idx: usize) -> Verdict {
+        let key = FlowKey::extract(pkt.data());
+        if key.ip_proto != IpProtocol::Udp.to_u8() && key.ip_proto != IpProtocol::Tcp.to_u8() {
+            return Verdict::Forward; // non-L4 traffic passes untranslated
+        }
+        if in_port_idx == 0 {
+            // Inside → outside.
+            let map_key = (key.ip_proto, key.ipv4_src, key.l4_src);
+            let translated = match self.outbound.get(&map_key) {
+                Some(p) => *p,
+                None => {
+                    let p = self.next_port;
+                    self.next_port = self.next_port.wrapping_add(1).max(40_000);
+                    self.outbound.insert(map_key, p);
+                    self.inbound
+                        .insert((key.ip_proto, p), (key.ipv4_src, key.l4_src));
+                    p
+                }
+            };
+            if rewrite(pkt, &key, Some(self.public_ip), None, Some(translated), None) {
+                self.translated_out += 1;
+                Verdict::Forward
+            } else {
+                self.rejected += 1;
+                Verdict::Drop
+            }
+        } else {
+            // Outside → inside: only established mappings come back.
+            match self.inbound.get(&(key.ip_proto, key.l4_dst)) {
+                Some((ip, port)) => {
+                    let (ip, port) = (*ip, *port);
+                    if rewrite(pkt, &key, None, Some(ip), None, Some(port)) {
+                        self.translated_in += 1;
+                        Verdict::Forward
+                    } else {
+                        self.rejected += 1;
+                        Verdict::Drop
+                    }
+                }
+                None => {
+                    self.rejected += 1;
+                    Verdict::Drop
+                }
+            }
+        }
+    }
+}
+
+/// A byte-rate policer: a token bucket over the cycle clock; packets beyond
+/// the configured rate are dropped (ingress policing, not shaping — there
+/// is no queue, exactly like `rte_meter` + drop action).
+pub struct TokenBucketPolicer {
+    rate_bytes_per_cycle: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last: u64,
+    /// Packets passed.
+    pub passed: u64,
+    /// Packets dropped for exceeding the rate.
+    pub policed: u64,
+}
+
+impl TokenBucketPolicer {
+    /// A policer at `mbps` megabit/s with a `burst_bytes` allowance.
+    pub fn new(mbps: f64, burst_bytes: f64) -> TokenBucketPolicer {
+        TokenBucketPolicer {
+            rate_bytes_per_cycle: mbps * 1e6 / 8.0 / cycles::CPU_HZ as f64,
+            burst_bytes,
+            tokens: burst_bytes,
+            last: cycles::now(),
+            passed: 0,
+            policed: 0,
+        }
+    }
+}
+
+impl VnfApp for TokenBucketPolicer {
+    fn name(&self) -> &str {
+        "policer"
+    }
+
+    fn process(&mut self, pkt: &mut Mbuf, _in_port_idx: usize) -> Verdict {
+        let now = cycles::now();
+        self.tokens = (self.tokens
+            + now.saturating_sub(self.last) as f64 * self.rate_bytes_per_cycle)
+            .min(self.burst_bytes);
+        self.last = now;
+        let cost = pkt.len() as f64;
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            self.passed += 1;
+            Verdict::Forward
+        } else {
+            self.policed += 1;
+            Verdict::Drop
+        }
+    }
+}
+
+/// A flow-sticky L4 load balancer: rewrites the destination address to one
+/// of the backends, chosen round-robin per *new* flow and remembered so a
+/// flow never changes backend (connection affinity).
+pub struct RoundRobinBalancer {
+    backends: Vec<Ipv4Addr>,
+    next: usize,
+    assignments: HashMap<FlowKey, Ipv4Addr>,
+    /// Packets steered to each backend, index-aligned with `backends`.
+    pub per_backend: Vec<u64>,
+}
+
+impl RoundRobinBalancer {
+    /// A balancer over the given backends (at least one).
+    pub fn new(backends: Vec<Ipv4Addr>) -> RoundRobinBalancer {
+        assert!(!backends.is_empty(), "balancer needs at least one backend");
+        let n = backends.len();
+        RoundRobinBalancer {
+            backends,
+            next: 0,
+            assignments: HashMap::new(),
+            per_backend: vec![0; n],
+        }
+    }
+
+    /// Distinct flows assigned so far.
+    pub fn flow_count(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+impl VnfApp for RoundRobinBalancer {
+    fn name(&self) -> &str {
+        "balancer"
+    }
+
+    fn process(&mut self, pkt: &mut Mbuf, _in_port_idx: usize) -> Verdict {
+        let key = FlowKey::extract(pkt.data());
+        let backend = match self.assignments.get(&key) {
+            Some(b) => *b,
+            None => {
+                let b = self.backends[self.next % self.backends.len()];
+                self.next += 1;
+                self.assignments.insert(key, b);
+                b
+            }
+        };
+        if rewrite(pkt, &key, None, Some(backend), None, None) {
+            if let Some(idx) = self.backends.iter().position(|b| *b == backend) {
+                self.per_backend[idx] += 1;
+            }
+            Verdict::Forward
+        } else {
+            Verdict::Drop
+        }
+    }
+}
+
+/// One DPI signature: a byte pattern sought in L4 payloads.
+#[derive(Debug, Clone)]
+pub struct DpiSignature {
+    pub name: String,
+    pub pattern: Vec<u8>,
+    /// Drop matching packets (true) or just count them (false).
+    pub block: bool,
+}
+
+impl DpiSignature {
+    /// A counting (non-blocking) signature.
+    pub fn observe(name: impl Into<String>, pattern: impl Into<Vec<u8>>) -> DpiSignature {
+        DpiSignature {
+            name: name.into(),
+            pattern: pattern.into(),
+            block: false,
+        }
+    }
+
+    /// A blocking signature.
+    pub fn block(name: impl Into<String>, pattern: impl Into<Vec<u8>>) -> DpiSignature {
+        DpiSignature {
+            name: name.into(),
+            pattern: pattern.into(),
+            block: true,
+        }
+    }
+}
+
+/// Deep packet inspection: scans L4 payloads for byte signatures
+/// (naive scan — payloads are 64–1500 B, patterns are short).
+pub struct DpiClassifier {
+    signatures: Vec<DpiSignature>,
+    /// Hits per signature, index-aligned with the constructor's list.
+    pub hits: Vec<u64>,
+    /// Packets dropped by blocking signatures.
+    pub blocked: u64,
+    /// Packets scanned (with an L4 payload).
+    pub scanned: u64,
+}
+
+impl DpiClassifier {
+    /// A classifier over the given signature set.
+    pub fn new(signatures: Vec<DpiSignature>) -> DpiClassifier {
+        let n = signatures.len();
+        DpiClassifier {
+            signatures,
+            hits: vec![0; n],
+            blocked: 0,
+            scanned: 0,
+        }
+    }
+
+    fn payload<'a>(key: &FlowKey, frame: &'a [u8]) -> Option<&'a [u8]> {
+        let l3 = frame.get(key.l3_offset()..)?;
+        let ip = Ipv4Packet::new_checked(l3).ok()?;
+        let header_len = ip.header_len();
+        let l4 = l3.get(header_len..)?;
+        match IpProtocol::from_u8(key.ip_proto) {
+            IpProtocol::Udp => l4.get(packet_wire::UDP_HEADER_LEN..),
+            IpProtocol::Tcp => {
+                let tcp = TcpSegment::new_checked(l4).ok()?;
+                let off = tcp.header_len();
+                l4.get(off..)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl VnfApp for DpiClassifier {
+    fn name(&self) -> &str {
+        "dpi"
+    }
+
+    fn process(&mut self, pkt: &mut Mbuf, _in_port_idx: usize) -> Verdict {
+        let key = FlowKey::extract(pkt.data());
+        let frame = pkt.data();
+        let Some(payload) = Self::payload(&key, frame) else {
+            return Verdict::Forward;
+        };
+        self.scanned += 1;
+        let mut verdict = Verdict::Forward;
+        for (i, sig) in self.signatures.iter().enumerate() {
+            if !sig.pattern.is_empty()
+                && payload
+                    .windows(sig.pattern.len())
+                    .any(|w| w == &sig.pattern[..])
+            {
+                self.hits[i] += 1;
+                if sig.block {
+                    verdict = Verdict::Drop;
+                }
+            }
+        }
+        if verdict == Verdict::Drop {
+            self.blocked += 1;
+        }
+        verdict
+    }
+}
+
+/// An ICMP echo responder for one owned address: echo requests to
+/// `my_ip` are turned into replies *in place* (MACs and IPs swapped,
+/// type flipped, checksums fixed) and bounced back out the port they
+/// arrived on; everything else passes through.
+pub struct IcmpResponder {
+    my_ip: Ipv4Addr,
+    /// Echo requests answered.
+    pub answered: u64,
+    /// Non-matching packets passed through.
+    pub passthrough: u64,
+}
+
+impl IcmpResponder {
+    /// A responder answering for `my_ip`.
+    pub fn new(my_ip: Ipv4Addr) -> IcmpResponder {
+        IcmpResponder {
+            my_ip,
+            answered: 0,
+            passthrough: 0,
+        }
+    }
+}
+
+impl VnfApp for IcmpResponder {
+    fn name(&self) -> &str {
+        "icmp-responder"
+    }
+
+    fn process(&mut self, pkt: &mut Mbuf, _in_port_idx: usize) -> Verdict {
+        use packet_wire::{EthernetFrame, IcmpPacket, IcmpType};
+        let key = FlowKey::extract(pkt.data());
+        if key.ip_proto != IpProtocol::Icmp.to_u8() || key.ipv4_dst != self.my_ip {
+            self.passthrough += 1;
+            return Verdict::Forward;
+        }
+        let l3_off = key.l3_offset();
+        let data = pkt.data_mut();
+        // Swap Ethernet addresses.
+        {
+            let Ok(mut eth) = EthernetFrame::new_checked(&mut data[..]) else {
+                self.passthrough += 1;
+                return Verdict::Forward;
+            };
+            let (src, dst) = (eth.src_addr(), eth.dst_addr());
+            eth.set_src_addr(dst);
+            eth.set_dst_addr(src);
+        }
+        // Swap IP addresses and flip the ICMP type.
+        let Ok(ip) = Ipv4Packet::new_checked(&mut data[l3_off..]) else {
+            self.passthrough += 1;
+            return Verdict::Forward;
+        };
+        let (src, dst) = (ip.src_addr(), ip.dst_addr());
+        let header_len = ip.header_len();
+        {
+            let Ok(mut icmp) = IcmpPacket::new_checked(&mut data[l3_off + header_len..]) else {
+                self.passthrough += 1;
+                return Verdict::Forward;
+            };
+            if icmp.icmp_type() != IcmpType::EchoRequest {
+                self.passthrough += 1;
+                return Verdict::Forward;
+            }
+            icmp.set_icmp_type(IcmpType::EchoReply);
+            icmp.fill_checksum();
+        }
+        let Ok(mut ip) = Ipv4Packet::new_checked(&mut data[l3_off..]) else {
+            unreachable!("validated above");
+        };
+        ip.set_src_addr(dst);
+        ip.set_dst_addr(src);
+        ip.set_ttl(64);
+        ip.fill_checksum();
+        self.answered += 1;
+        // Hairpin: the reply leaves the way the request came.
+        Verdict::Reflect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet_wire::PacketBuilder;
+
+    fn probe_from(src: Ipv4Addr, sport: u16, dport: u16) -> Mbuf {
+        Mbuf::from_slice(
+            &PacketBuilder::udp_probe(64)
+                .ip(src, Ipv4Addr::new(8, 8, 8, 8))
+                .ports(sport, dport)
+                .build(),
+        )
+    }
+
+    /// A probe whose UDP payload tail carries `marker` bytes.
+    fn probe_with_payload(marker: &[u8]) -> Mbuf {
+        let mut frame = PacketBuilder::udp_probe(96).build();
+        let n = frame.len();
+        frame[n - marker.len()..].copy_from_slice(marker);
+        Mbuf::from_slice(&frame)
+    }
+
+    #[test]
+    fn nat_translates_and_reverses() {
+        let public = Ipv4Addr::new(203, 0, 113, 1);
+        let mut nat = Nat44::new(public);
+        let mut out = probe_from(Ipv4Addr::new(10, 0, 0, 5), 5555, 80);
+        assert_eq!(nat.process(&mut out, 0), Verdict::Forward);
+        let key = FlowKey::extract(out.data());
+        assert_eq!(key.ipv4_src, public);
+        assert_eq!(key.l4_src, 40_000);
+        assert_eq!(nat.table_size(), 1);
+
+        // Craft the reply: swap src/dst of the translated packet.
+        let mut reply = Mbuf::from_slice(
+            &PacketBuilder::udp_probe(64)
+                .ip(Ipv4Addr::new(8, 8, 8, 8), public)
+                .ports(80, 40_000)
+                .build(),
+        );
+        assert_eq!(nat.process(&mut reply, 1), Verdict::Forward);
+        let rkey = FlowKey::extract(reply.data());
+        assert_eq!(rkey.ipv4_dst, Ipv4Addr::new(10, 0, 0, 5));
+        assert_eq!(rkey.l4_dst, 5555);
+        assert_eq!((nat.translated_out, nat.translated_in), (1, 1));
+    }
+
+    #[test]
+    fn nat_is_stable_per_flow_and_distinct_across_flows() {
+        let mut nat = Nat44::new(Ipv4Addr::new(203, 0, 113, 1));
+        let mut a1 = probe_from(Ipv4Addr::new(10, 0, 0, 5), 1111, 80);
+        let mut a2 = probe_from(Ipv4Addr::new(10, 0, 0, 5), 1111, 80);
+        let mut b = probe_from(Ipv4Addr::new(10, 0, 0, 6), 1111, 80);
+        nat.process(&mut a1, 0);
+        nat.process(&mut a2, 0);
+        nat.process(&mut b, 0);
+        let pa1 = FlowKey::extract(a1.data()).l4_src;
+        let pa2 = FlowKey::extract(a2.data()).l4_src;
+        let pb = FlowKey::extract(b.data()).l4_src;
+        assert_eq!(pa1, pa2, "same flow keeps its port");
+        assert_ne!(pa1, pb, "different flows get different ports");
+        assert_eq!(nat.table_size(), 2);
+    }
+
+    #[test]
+    fn nat_drops_unsolicited_inbound() {
+        let mut nat = Nat44::new(Ipv4Addr::new(203, 0, 113, 1));
+        let mut stray = probe_from(Ipv4Addr::new(8, 8, 8, 8), 80, 40_000);
+        assert_eq!(nat.process(&mut stray, 1), Verdict::Drop);
+        assert_eq!(nat.rejected, 1);
+    }
+
+    #[test]
+    fn nat_rewrites_keep_checksums_valid() {
+        let mut nat = Nat44::new(Ipv4Addr::new(203, 0, 113, 1));
+        let mut pkt = probe_from(Ipv4Addr::new(10, 0, 0, 5), 5555, 80);
+        nat.process(&mut pkt, 0);
+        let key = FlowKey::extract(pkt.data());
+        let l3 = &pkt.data()[key.l3_offset()..];
+        let ip = Ipv4Packet::new_checked(l3).unwrap();
+        assert!(ip.verify_checksum());
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert!(udp.verify_checksum(ip.src_addr(), ip.dst_addr()));
+    }
+
+    #[test]
+    fn policer_enforces_a_rate() {
+        // 1 Mb/s with a one-packet burst: the first packet passes, a
+        // tight burst of followers is policed.
+        let mut p = TokenBucketPolicer::new(1.0, 64.0);
+        let mut first = probe_from(Ipv4Addr::new(10, 0, 0, 1), 1, 2);
+        assert_eq!(p.process(&mut first, 0), Verdict::Forward);
+        let mut dropped = 0;
+        for _ in 0..10 {
+            let mut m = probe_from(Ipv4Addr::new(10, 0, 0, 1), 1, 2);
+            if p.process(&mut m, 0) == Verdict::Drop {
+                dropped += 1;
+            }
+        }
+        assert!(dropped >= 9, "policer must drop a tight burst");
+        assert_eq!(p.passed + p.policed, 11);
+    }
+
+    #[test]
+    fn policer_refills_over_time() {
+        let mut p = TokenBucketPolicer::new(100.0, 64.0);
+        let mut m = probe_from(Ipv4Addr::new(10, 0, 0, 1), 1, 2);
+        assert_eq!(p.process(&mut m, 0), Verdict::Forward);
+        // Drain, then wait for refill (100 Mb/s refills 64 B in ~5 µs).
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let mut m2 = probe_from(Ipv4Addr::new(10, 0, 0, 1), 1, 2);
+        assert_eq!(p.process(&mut m2, 0), Verdict::Forward);
+    }
+
+    #[test]
+    fn balancer_is_sticky_and_round_robin() {
+        let b1 = Ipv4Addr::new(10, 1, 0, 1);
+        let b2 = Ipv4Addr::new(10, 1, 0, 2);
+        let mut lb = RoundRobinBalancer::new(vec![b1, b2]);
+        // Flow A twice, flow B once.
+        let mut a1 = probe_from(Ipv4Addr::new(10, 0, 0, 5), 1000, 80);
+        let mut a2 = probe_from(Ipv4Addr::new(10, 0, 0, 5), 1000, 80);
+        let mut b = probe_from(Ipv4Addr::new(10, 0, 0, 5), 2000, 80);
+        lb.process(&mut a1, 0);
+        lb.process(&mut a2, 0);
+        lb.process(&mut b, 0);
+        let da1 = FlowKey::extract(a1.data()).ipv4_dst;
+        let da2 = FlowKey::extract(a2.data()).ipv4_dst;
+        let db = FlowKey::extract(b.data()).ipv4_dst;
+        assert_eq!(da1, b1);
+        assert_eq!(da2, b1, "affinity: same flow, same backend");
+        assert_eq!(db, b2, "round robin: next flow, next backend");
+        assert_eq!(lb.per_backend, vec![2, 1]);
+        assert_eq!(lb.flow_count(), 2);
+    }
+
+    /// Builds a full Ethernet/IPv4/ICMP echo-request frame.
+    fn icmp_echo_request(dst: Ipv4Addr, ident: u16, seq: u16) -> Mbuf {
+        use packet_wire::{
+            EtherType, EthernetFrame, IcmpPacket, IcmpType, Ipv4Packet, MacAddr,
+            ETHERNET_HEADER_LEN, ICMP_HEADER_LEN, IPV4_HEADER_LEN,
+        };
+        let payload = b"ping!";
+        let total = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + ICMP_HEADER_LEN + payload.len();
+        let mut buf = vec![0u8; total];
+        {
+            let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+            eth.set_src_addr(MacAddr::local(1));
+            eth.set_dst_addr(MacAddr::local(2));
+            eth.set_ethertype(EtherType::Ipv4);
+        }
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut buf[ETHERNET_HEADER_LEN..]);
+            ip.set_version_and_header_len(IPV4_HEADER_LEN);
+            ip.set_total_len((total - ETHERNET_HEADER_LEN) as u16);
+            ip.set_ttl(64);
+            ip.set_protocol(IpProtocol::Icmp);
+            ip.set_src_addr(Ipv4Addr::new(10, 0, 0, 1));
+            ip.set_dst_addr(dst);
+            ip.set_flags_frag(0x4000);
+            ip.fill_checksum();
+        }
+        {
+            let off = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+            let mut icmp = IcmpPacket::new_unchecked(&mut buf[off..]);
+            icmp.set_icmp_type(IcmpType::EchoRequest);
+            icmp.set_code(0);
+            icmp.set_echo_ident(ident);
+            icmp.set_echo_seq(seq);
+            icmp.payload_mut().copy_from_slice(payload);
+            icmp.fill_checksum();
+        }
+        Mbuf::from_slice(&buf)
+    }
+
+    #[test]
+    fn icmp_responder_answers_its_address() {
+        use packet_wire::{IcmpPacket, IcmpType};
+        let me = Ipv4Addr::new(10, 0, 0, 99);
+        let mut app = IcmpResponder::new(me);
+        let mut pkt = icmp_echo_request(me, 0xAB, 3);
+        assert_eq!(app.process(&mut pkt, 0), Verdict::Reflect);
+        assert_eq!(app.answered, 1);
+
+        // The packet is now a well-formed reply back to the requester.
+        let key = FlowKey::extract(pkt.data());
+        assert_eq!(key.ipv4_src, me);
+        assert_eq!(key.ipv4_dst, Ipv4Addr::new(10, 0, 0, 1));
+        let l3 = &pkt.data()[key.l3_offset()..];
+        let ip = Ipv4Packet::new_checked(l3).unwrap();
+        assert!(ip.verify_checksum());
+        let icmp = IcmpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(icmp.icmp_type(), IcmpType::EchoReply);
+        assert!(icmp.verify_checksum());
+        assert_eq!(icmp.echo_ident(), 0xAB);
+        assert_eq!(icmp.echo_seq(), 3);
+        assert_eq!(icmp.payload(), b"ping!");
+    }
+
+    #[test]
+    fn icmp_responder_passes_other_traffic() {
+        let me = Ipv4Addr::new(10, 0, 0, 99);
+        let mut app = IcmpResponder::new(me);
+        // Echo request for someone else: passes through.
+        let mut other = icmp_echo_request(Ipv4Addr::new(10, 0, 0, 50), 1, 1);
+        assert_eq!(app.process(&mut other, 0), Verdict::Forward);
+        // UDP to our address: passes through.
+        let mut udp = probe_from(Ipv4Addr::new(10, 0, 0, 1), 1, 2);
+        assert_eq!(app.process(&mut udp, 0), Verdict::Forward);
+        assert_eq!(app.answered, 0);
+        assert_eq!(app.passthrough, 2);
+    }
+
+    #[test]
+    fn dpi_counts_and_blocks_signatures() {
+        let mut dpi = DpiClassifier::new(vec![
+            DpiSignature::observe("greeting", b"HELLO".to_vec()),
+            DpiSignature::block("malware", b"EVIL".to_vec()),
+        ]);
+        let mut benign = probe_with_payload(b"..HELLO..");
+        assert_eq!(dpi.process(&mut benign, 0), Verdict::Forward);
+
+        let mut evil = probe_with_payload(b"xxEVILxx");
+        assert_eq!(dpi.process(&mut evil, 0), Verdict::Drop);
+        assert_eq!(dpi.hits[0], 1);
+        assert_eq!(dpi.hits[1], 1);
+        assert_eq!(dpi.blocked, 1);
+        assert_eq!(dpi.scanned, 2);
+
+        // Plain probes match nothing.
+        let mut plain = probe_from(Ipv4Addr::new(10, 0, 0, 1), 1, 2);
+        assert_eq!(dpi.process(&mut plain, 0), Verdict::Forward);
+        assert_eq!(dpi.blocked, 1);
+    }
+}

@@ -1,0 +1,406 @@
+//! The guest main loop.
+//!
+//! A [`VnfRunner`] is what executes on a VM's vCPU: a single-core DPDK-style
+//! application driving the VM's (typically two) dpdkr ports through the
+//! modified PMD, applying a [`VnfApp`] to every packet and forwarding
+//! between the ports — the exact shape of the paper's evaluation VMs.
+//! Between bursts it services PMD control messages arriving over
+//! virtio-serial, which is how bypass reconfiguration happens *without
+//! stopping the application*.
+
+use crate::apps::{Verdict, VnfApp};
+use crate::control::{PmdAck, PmdCtrl};
+use crate::pmd::DpdkrPmd;
+use dpdk_sim::{Mbuf, DEFAULT_BURST};
+use shmem_sim::{DeviceBoard, SerialPort};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, externally readable guest counters.
+#[derive(Debug, Default)]
+pub struct GuestCounters {
+    /// Packets forwarded port-to-port.
+    pub forwarded: AtomicU64,
+    /// Packets dropped by the application verdict.
+    pub dropped: AtomicU64,
+    /// Packets sent back out their ingress port (Verdict::Reflect).
+    pub reflected: AtomicU64,
+    /// Control messages applied.
+    pub ctrl_applied: AtomicU64,
+}
+
+/// Configuration for one guest.
+pub struct GuestConfig {
+    /// VM name (diagnostics).
+    pub name: String,
+    /// The VM's PMDs, one per dpdkr port, in port-pair order.
+    pub ports: Vec<DpdkrPmd>,
+    /// The packet-processing application.
+    pub app: Box<dyn VnfApp>,
+    /// Guest end of the virtio-serial control channel.
+    pub serial: SerialPort<PmdCtrl>,
+    /// Host end used for acks is the same duplex channel.
+    pub ack_via: SerialPort<PmdAck>,
+    /// The VM's device board (for mapping hot-plugged ivshmem devices).
+    pub board: Arc<DeviceBoard>,
+}
+
+/// The running guest application.
+pub struct VnfRunner {
+    name: String,
+    ports: Vec<DpdkrPmd>,
+    app: Box<dyn VnfApp>,
+    serial: SerialPort<PmdCtrl>,
+    ack_via: SerialPort<PmdAck>,
+    board: Arc<DeviceBoard>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<GuestCounters>,
+}
+
+impl VnfRunner {
+    /// Builds a runner; `stop` terminates [`VnfRunner::run`].
+    pub fn new(config: GuestConfig, stop: Arc<AtomicBool>) -> VnfRunner {
+        VnfRunner {
+            name: config.name,
+            ports: config.ports,
+            app: config.app,
+            serial: config.serial,
+            ack_via: config.ack_via,
+            board: config.board,
+            stop,
+            counters: Arc::new(GuestCounters::default()),
+        }
+    }
+
+    /// Shared counter handle (read from other threads).
+    pub fn counters(&self) -> Arc<GuestCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// VM name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn port_index(&self, of_port: u32) -> Option<usize> {
+        self.ports.iter().position(|p| p.of_port() == of_port)
+    }
+
+    /// Applies one control message; replies with an ack.
+    fn handle_ctrl(&mut self, msg: PmdCtrl) {
+        let seq = msg.seq();
+        let of_port = msg.of_port();
+        let mut drained = 0u64;
+        let ok = match (self.port_index(of_port), msg) {
+            (Some(idx), PmdCtrl::MapBypass { segment, .. }) => {
+                match self.board.map_segment(&segment) {
+                    Some(end) => {
+                        self.ports[idx].map_bypass(end);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            (Some(idx), PmdCtrl::EnableTx { rule_cookie, peer_port, .. }) => {
+                self.ports[idx].enable_tx(rule_cookie, peer_port)
+            }
+            (Some(idx), PmdCtrl::EnableRx { .. }) => self.ports[idx].enable_rx(),
+            (Some(idx), PmdCtrl::DisableTx { .. }) => {
+                self.ports[idx].disable_tx();
+                true
+            }
+            (Some(idx), PmdCtrl::DisableRxDrain { .. }) => {
+                // Drained packets are in-flight traffic: run them through
+                // the application like any received burst.
+                let mut pkts = Vec::new();
+                drained = self.ports[idx].disable_rx_drain(&mut pkts);
+                self.process_burst(idx, pkts);
+                true
+            }
+            (Some(idx), PmdCtrl::UnmapBypass { .. }) => {
+                // Defensive guest: a crashed agent may skip the disable
+                // steps, so sanitise before unmapping (the PMD's unmap
+                // contract requires both directions inactive). In-flight
+                // packets still drain through the application.
+                self.ports[idx].disable_tx();
+                let mut pkts = Vec::new();
+                drained = self.ports[idx].disable_rx_drain(&mut pkts);
+                self.process_burst(idx, pkts);
+                self.ports[idx].unmap_bypass();
+                true
+            }
+            (None, _) => false,
+        };
+        self.counters.ctrl_applied.fetch_add(1, Ordering::Relaxed);
+        let _ = self.ack_via.send(PmdAck {
+            seq,
+            of_port,
+            ok,
+            drained,
+        });
+    }
+
+    /// For a two-port VM, the egress port for traffic arriving on `idx`.
+    fn out_index(&self, idx: usize) -> usize {
+        if self.ports.len() == 1 {
+            idx
+        } else {
+            // Pairwise forwarding: 0↔1, 2↔3, ...
+            idx ^ 1
+        }
+    }
+
+    fn process_burst(&mut self, in_idx: usize, pkts: Vec<Mbuf>) {
+        if pkts.is_empty() {
+            return;
+        }
+        let out_idx = self.out_index(in_idx);
+        let mut out: Vec<Mbuf> = Vec::with_capacity(pkts.len());
+        let mut back: Vec<Mbuf> = Vec::new();
+        for mut pkt in pkts {
+            match self.app.process(&mut pkt, in_idx) {
+                Verdict::Forward => out.push(pkt),
+                Verdict::Reflect => back.push(pkt),
+                Verdict::Drop => {
+                    self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let n = out.len() as u64;
+        self.ports[out_idx].tx_burst(&mut out);
+        self.counters.forwarded.fetch_add(n, Ordering::Relaxed);
+        if !back.is_empty() {
+            let n = back.len() as u64;
+            self.ports[in_idx].tx_burst(&mut back);
+            self.counters.reflected.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// One polling iteration: control first, then every port.
+    /// Returns true if any packet moved.
+    pub fn poll_once(&mut self) -> bool {
+        while let Some(msg) = self.serial.try_recv() {
+            self.handle_ctrl(msg);
+        }
+        let mut moved = false;
+        for idx in 0..self.ports.len() {
+            let mut rx = Vec::with_capacity(DEFAULT_BURST);
+            if self.ports[idx].rx_burst(&mut rx, DEFAULT_BURST) > 0 {
+                moved = true;
+                self.process_burst(idx, rx);
+            }
+        }
+        moved
+    }
+
+    /// Runs until the stop flag rises; yields when idle.
+    pub fn run(mut self) {
+        while !self.stop.load(Ordering::Acquire) {
+            if !self.poll_once() {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::L2Forwarder;
+    use shmem_sim::{channel, serial_pair, IvshmemDevice, StatsRegion};
+
+    struct Harness {
+        runner: VnfRunner,
+        sw0: shmem_sim::ChannelEnd,
+        sw1: shmem_sim::ChannelEnd,
+        host_ctrl: SerialPort<PmdCtrl>,
+        host_ack: SerialPort<PmdAck>,
+        board: Arc<DeviceBoard>,
+        stats: StatsRegion,
+    }
+
+    /// Two-port guest with an L2 forwarder, plus all host-side handles.
+    fn guest() -> Harness {
+        let stats = StatsRegion::new();
+        let (vm0, sw0) = channel("dpdkr1", 32);
+        let (vm1, sw1) = channel("dpdkr2", 32);
+        let (host_ctrl, guest_ctrl) = serial_pair::<PmdCtrl>("vm");
+        let (guest_ack, host_ack) = serial_pair::<PmdAck>("vm-ack");
+        let board = Arc::new(DeviceBoard::new());
+        let config = GuestConfig {
+            name: "vm1".into(),
+            ports: vec![
+                DpdkrPmd::new(1, vm0, stats.clone()),
+                DpdkrPmd::new(2, vm1, stats.clone()),
+            ],
+            app: Box::new(L2Forwarder::new()),
+            serial: guest_ctrl,
+            ack_via: guest_ack,
+            board: Arc::clone(&board),
+        };
+        Harness {
+            runner: VnfRunner::new(config, Arc::new(AtomicBool::new(false))),
+            sw0,
+            sw1,
+            host_ctrl,
+            host_ack,
+            board,
+            stats,
+        }
+    }
+
+    fn pkt() -> Mbuf {
+        Mbuf::from_slice(&packet_wire::PacketBuilder::udp_probe(64).build())
+    }
+
+    #[test]
+    fn forwards_between_port_pair() {
+        let mut h = guest();
+        h.sw0.send(pkt()).unwrap();
+        h.runner.poll_once();
+        assert_eq!(h.sw1.recv().unwrap().len(), 64);
+        // And the reverse direction.
+        h.sw1.send(pkt()).unwrap();
+        h.runner.poll_once();
+        assert!(h.sw0.recv().is_some());
+        assert_eq!(h.runner.counters().forwarded.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn control_reconfigures_bypass_live() {
+        let mut h = guest();
+        // Host plugs a bypass device and configures tx on port 2.
+        let (end_a, mut end_b) = channel("bypass-seg", 32);
+        h.board.plug(IvshmemDevice::new("bypass-seg", end_a));
+        h.host_ctrl
+            .send(PmdCtrl::MapBypass {
+                seq: 1,
+                of_port: 2,
+                segment: "bypass-seg".into(),
+            })
+            .unwrap();
+        h.host_ctrl
+            .send(PmdCtrl::EnableTx {
+                seq: 2,
+                of_port: 2,
+                rule_cookie: 0xfeed,
+                peer_port: 3,
+            })
+            .unwrap();
+        // Traffic arriving on port 1 now leaves via the bypass of port 2.
+        h.sw0.send(pkt()).unwrap();
+        h.runner.poll_once();
+        assert_eq!(h.host_ack.try_recv().unwrap().seq, 1);
+        assert_eq!(h.host_ack.try_recv().unwrap().seq, 2);
+        assert_eq!(end_b.recv().unwrap().len(), 64);
+        assert!(h.sw1.recv().is_none(), "switch path must be bypassed");
+        assert_eq!(h.stats.rule_totals(0xfeed), (1, 64));
+    }
+
+    #[test]
+    fn teardown_drains_in_flight_packets_through_the_app() {
+        let mut h = guest();
+        let (end_a, mut peer) = channel("bypass-seg", 32);
+        h.board.plug(IvshmemDevice::new("bypass-seg", end_a));
+        h.host_ctrl
+            .send(PmdCtrl::MapBypass {
+                seq: 1,
+                of_port: 1,
+                segment: "bypass-seg".into(),
+            })
+            .unwrap();
+        h.host_ctrl
+            .send(PmdCtrl::EnableRx { seq: 2, of_port: 1 })
+            .unwrap();
+        h.runner.poll_once();
+        // Peer VM sent packets that are still in the ring at teardown time.
+        for _ in 0..4 {
+            peer.send(pkt()).unwrap();
+        }
+        h.host_ctrl
+            .send(PmdCtrl::DisableRxDrain { seq: 3, of_port: 1 })
+            .unwrap();
+        h.host_ctrl
+            .send(PmdCtrl::UnmapBypass { seq: 4, of_port: 1 })
+            .unwrap();
+        h.runner.poll_once();
+        // Acks for map/enable were consumed? (seq 1,2 first poll; 3,4 now)
+        let acks: Vec<PmdAck> = std::iter::from_fn(|| h.host_ack.try_recv()).collect();
+        let drain_ack = acks.iter().find(|a| a.seq == 3).unwrap();
+        assert_eq!(drain_ack.drained, 4);
+        assert!(drain_ack.ok);
+        // Drained packets went through the app and out of port 2.
+        let mut got = 0;
+        while h.sw1.recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 4);
+    }
+
+    #[test]
+    fn reflect_verdict_bounces_out_the_ingress_port() {
+        struct Bouncer;
+        impl crate::apps::VnfApp for Bouncer {
+            fn name(&self) -> &str {
+                "bouncer"
+            }
+            fn process(&mut self, _pkt: &mut Mbuf, _idx: usize) -> crate::apps::Verdict {
+                crate::apps::Verdict::Reflect
+            }
+        }
+        let stats = StatsRegion::new();
+        let (vm0, mut sw0) = channel("dpdkr1", 32);
+        let (vm1, mut sw1) = channel("dpdkr2", 32);
+        let (_host_ctrl, guest_ctrl) = serial_pair::<PmdCtrl>("vm");
+        let (guest_ack, _host_ack) = serial_pair::<PmdAck>("vm-ack");
+        let mut runner = VnfRunner::new(
+            GuestConfig {
+                name: "bounce".into(),
+                ports: vec![
+                    DpdkrPmd::new(1, vm0, stats.clone()),
+                    DpdkrPmd::new(2, vm1, stats),
+                ],
+                app: Box::new(Bouncer),
+                serial: guest_ctrl,
+                ack_via: guest_ack,
+                board: Arc::new(DeviceBoard::new()),
+            },
+            Arc::new(AtomicBool::new(false)),
+        );
+        sw0.send(pkt()).unwrap();
+        runner.poll_once();
+        assert!(sw0.recv().is_some(), "bounced back out port 1");
+        assert!(sw1.recv().is_none(), "nothing crossed to port 2");
+        assert_eq!(runner.counters().reflected.load(Ordering::Relaxed), 1);
+        assert_eq!(runner.counters().forwarded.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn unknown_port_is_nacked() {
+        let mut h = guest();
+        h.host_ctrl
+            .send(PmdCtrl::EnableRx {
+                seq: 9,
+                of_port: 99,
+            })
+            .unwrap();
+        h.runner.poll_once();
+        let ack = h.host_ack.try_recv().unwrap();
+        assert!(!ack.ok);
+        assert_eq!(ack.seq, 9);
+    }
+
+    #[test]
+    fn missing_segment_is_nacked() {
+        let mut h = guest();
+        h.host_ctrl
+            .send(PmdCtrl::MapBypass {
+                seq: 5,
+                of_port: 1,
+                segment: "not-plugged".into(),
+            })
+            .unwrap();
+        h.runner.poll_once();
+        assert!(!h.host_ack.try_recv().unwrap().ok);
+    }
+}

@@ -1,0 +1,134 @@
+//! Dynamicity (§1): bypasses follow the OpenFlow rules at run time.
+//!
+//! ```text
+//! cargo run --example dynamic_rules
+//! ```
+//!
+//! The controller first steers *all* traffic from vm-a to vm-b (a p-2-p
+//! link: bypass comes up), then adds a second, web-only rule on the same
+//! ingress port (no longer point-to-point: bypass is torn down — packets
+//! return to the vSwitch path), then deletes it again (bypass returns).
+//! Traffic keeps flowing through every transition.
+
+use std::time::{Duration, Instant};
+use vnf_highway::prelude::*;
+use vnf_highway::shmem::SegmentKind;
+
+fn main() {
+    let node = HighwayNode::new(HighwayNodeConfig::default());
+
+    let entry_no = node.orchestrator().alloc_port();
+    let (mut entry, sw_end) = node.registry().create_channel(
+        format!("dpdkr{entry_no}"),
+        SegmentKind::DpdkrNormal,
+        1024,
+    );
+    node.switch()
+        .add_dpdkr_port(PortNo(entry_no as u16), "entry", sw_end);
+    let exit_no = node.orchestrator().alloc_port();
+    let (mut exit, sw_end) = node.registry().create_channel(
+        format!("dpdkr{exit_no}"),
+        SegmentKind::DpdkrNormal,
+        1024,
+    );
+    node.switch()
+        .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
+
+    let vm_a = node.orchestrator().create_vm(VnfSpec::forwarder("vm-a"), 2);
+    let vm_b = node.orchestrator().create_vm(VnfSpec::forwarder("vm-b"), 2);
+    node.register_vm(vm_a.clone());
+    node.register_vm(vm_b.clone());
+    node.start();
+
+    let ctrl = node.connect_controller();
+    let (a_in, a_out) = (vm_a.of_ports()[0], vm_a.of_ports()[1]);
+    let (b_in, b_out) = (vm_b.of_ports()[0], vm_b.of_ports()[1]);
+    for (i, (from, to)) in [
+        (entry_no, a_in),
+        (a_out, b_in),
+        (b_out, exit_no),
+    ]
+    .iter()
+    .enumerate()
+    {
+        ctrl.add_flow(
+            FlowMatch::in_port(PortNo(*from as u16)),
+            100,
+            vec![Action::Output(PortNo(*to as u16))],
+            0x200 + i as u64,
+        )
+        .unwrap();
+    }
+    ctrl.barrier(Duration::from_secs(2)).unwrap();
+    assert!(node.wait_highway_converged(Duration::from_secs(10)));
+    println!("[1] p-2-p rules installed      → links: {:?}", node.active_links());
+    assert_eq!(node.active_links(), vec![(a_out, b_in)]);
+
+    let push_and_count = |entry: &mut vnf_highway::shmem::ChannelEnd,
+                          exit: &mut vnf_highway::shmem::ChannelEnd,
+                          n: u64|
+     -> u64 {
+        for seq in 0..n {
+            let mut m = Mbuf::from_slice(&PacketBuilder::udp_probe(64).seq(seq).build());
+            loop {
+                match entry.send(m) {
+                    Ok(()) => break,
+                    Err(ret) => {
+                        m = ret;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let mut got = 0;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got < n && Instant::now() < deadline {
+            match exit.recv() {
+                Some(_) => got += 1,
+                None => std::thread::yield_now(),
+            }
+        }
+        got
+    };
+
+    assert_eq!(push_and_count(&mut entry, &mut exit, 200), 200);
+    println!("[1] 200/200 packets via the bypass");
+
+    // A second rule on vm-a's egress port: the seam is no longer pure
+    // point-to-point, so the highway must revert it — dynamically.
+    let mut web = FlowMatch::in_port(PortNo(a_out as u16));
+    web.eth_type = Some(0x0800);
+    web.ip_proto = Some(17);
+    web.l4_dst = Some(80);
+    ctrl.add_flow(web, 200, vec![Action::Output(PortNo(b_in as u16))], 0x999)
+        .unwrap();
+    ctrl.barrier(Duration::from_secs(2)).unwrap();
+    assert!(node.wait_highway_converged(Duration::from_secs(10)));
+    println!("[2] web rule added on same port → links: {:?}", node.active_links());
+    assert!(node.active_links().is_empty());
+
+    assert_eq!(push_and_count(&mut entry, &mut exit, 200), 200);
+    println!("[2] 200/200 packets via the vSwitch path");
+
+    // Delete the narrowing rule: the bypass comes back.
+    ctrl.del_flow_strict(web, 200).unwrap();
+    ctrl.barrier(Duration::from_secs(2)).unwrap();
+    assert!(node.wait_highway_converged(Duration::from_secs(10)));
+    println!("[3] web rule deleted            → links: {:?}", node.active_links());
+    assert_eq!(node.active_links(), vec![(a_out, b_in)]);
+
+    assert_eq!(push_and_count(&mut entry, &mut exit, 200), 200);
+    println!("[3] 200/200 packets via the re-established bypass");
+
+    // The setup log recorded both activations.
+    println!(
+        "setup log: {} activations, last took {:?}",
+        node.setup_log().len(),
+        node.setup_log().last().map(|r| r.setup_time())
+    );
+
+    node.stop();
+    vm_a.shutdown();
+    vm_b.shutdown();
+    println!("dynamic_rules OK");
+}

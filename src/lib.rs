@@ -1,0 +1,45 @@
+//! # vnf-highway
+//!
+//! A full reproduction of *"A Transparent Highway for inter-Virtual Network
+//! Function Communication with Open vSwitch"* (SIGCOMM 2016): an
+//! OVS-DPDK-style software switch whose point-to-point traffic-steering
+//! rules are transparently accelerated by direct shared-memory channels
+//! between the VMs they connect.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`highway`] — the paper's contribution (detector, manager, node);
+//! * [`ovs`] — the vSwitch substrate;
+//! * [`openflow`] — the OpenFlow 1.0 subset + wire codec;
+//! * [`vnf`] — guest-side PMD and VNF applications;
+//! * [`vm`] — VM/QEMU host model, compute agent, orchestrator;
+//! * [`dpdk`] — rings, mbufs, mempools;
+//! * [`shmem`] — shared-memory channels, virtio-serial, stats region;
+//! * [`packet`] — wire formats;
+//! * [`nic`] — simulated 10 G NICs and traffic generation;
+//! * [`model`] — the calibrated performance model behind the figures.
+//!
+//! Start with [`highway::HighwayNode`] — see `examples/quickstart.rs`.
+
+pub use dpdk_sim as dpdk;
+pub use highway_core as highway;
+pub use nic_sim as nic;
+pub use openflow;
+pub use ovs_dp as ovs;
+pub use packet_wire as packet;
+pub use shmem_sim as shmem;
+pub use simnet as model;
+pub use vm_host as vm;
+pub use vnf_apps as vnf;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use dpdk_sim::{EthDev, Mbuf, Mempool};
+    pub use highway_core::{HighwayNode, HighwayNodeConfig};
+    pub use openflow::{Action, FlowMatch, OfpMessage, PortNo};
+    pub use ovs_dp::{VSwitchd, VSwitchdConfig};
+    pub use packet_wire::{FlowKey, MacAddr, PacketBuilder, ProbeHeader};
+    pub use shmem_sim::{SegmentKind, StatsRegion};
+    pub use vm_host::{AppKind, ComputeAgent, LatencyModel, Orchestrator, Vm, VnfSpec};
+    pub use vnf_apps::{Firewall, FirewallRule, L2Forwarder, NetworkMonitor, WebCache};
+}

@@ -1,0 +1,491 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use vnf_highway::dpdk::spsc_ring;
+use vnf_highway::highway::detect_p2p_links;
+use vnf_highway::openflow::codec::{decode, encode};
+use vnf_highway::openflow::messages::{FlowMod, FlowModCommand, OfpMessage};
+use vnf_highway::ovs::classifier::Classifier;
+use vnf_highway::ovs::table::RuleEntry;
+use vnf_highway::ovs::RuleSnapshot;
+use vnf_highway::packet::{FlowKey, MacAddr, PacketBuilder};
+use vnf_highway::prelude::{Action, FlowMatch, PortNo};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+// ---------- strategies ----------
+
+fn mac() -> impl Strategy<Value = MacAddr> {
+    // A small alphabet keeps collision probability (and thus rule overlap)
+    // high enough to exercise interesting cases.
+    (0u8..4).prop_map(MacAddr::local)
+}
+
+fn ipv4_prefix() -> impl Strategy<Value = (Ipv4Addr, u8)> {
+    ((0u32..8), (8u8..=32)).prop_map(|(n, len)| (Ipv4Addr::from(0x0a00_0000 | n << 8), len))
+}
+
+fn flow_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        proptest::option::of(0u16..6),
+        proptest::option::of(mac()),
+        proptest::option::of(mac()),
+        proptest::option::of(proptest::bool::ANY),
+        proptest::option::of(0u8..3),
+        proptest::option::of(ipv4_prefix()),
+        proptest::option::of(ipv4_prefix()),
+        proptest::option::of(0u16..5),
+        proptest::option::of(0u16..5),
+    )
+        .prop_map(
+            |(in_port, eth_src, eth_dst, is_ip, proto, src, dst, l4s, l4d)| {
+                let ip = is_ip.unwrap_or(false);
+                FlowMatch {
+                    in_port: in_port.map(PortNo),
+                    eth_src,
+                    eth_dst,
+                    vlan_id: None,
+                    eth_type: if ip { Some(0x0800) } else { None },
+                    ip_tos: None,
+                    ip_proto: if ip { proto } else { None },
+                    ipv4_src: if ip { src } else { None },
+                    ipv4_dst: if ip { dst } else { None },
+                    l4_src: if ip { l4s } else { None },
+                    l4_dst: if ip { l4d } else { None },
+                }
+                .canonicalise()
+            },
+        )
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u16..9).prop_map(|p| Action::Output(PortNo(p))),
+        mac().prop_map(Action::SetEthSrc),
+        mac().prop_map(Action::SetEthDst),
+        (0u16..100).prop_map(Action::SetL4Dst),
+        Just(Action::StripVlan),
+        (0u8..64).prop_map(Action::SetIpTos),
+    ]
+}
+
+fn flow_key() -> impl Strategy<Value = FlowKey> {
+    (0u16..5, 0u16..5, 0u8..3, mac(), mac()).prop_map(|(l4s, l4d, proto, src, dst)| {
+        let pkt = PacketBuilder::udp_probe(64)
+            .eth(src, dst)
+            .ports(l4s, l4d)
+            .build();
+        let mut key = FlowKey::extract(&pkt);
+        key.ip_proto = if proto == 0 { 17 } else { proto };
+        key
+    })
+}
+
+// ---------- codec ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every encodable flow_mod decodes back to itself, byte-exactly framed.
+    #[test]
+    fn codec_flow_mod_roundtrip(
+        fmatch in flow_match(),
+        actions in proptest::collection::vec(action(), 0..5),
+        priority in 0u16..u16::MAX,
+        cookie in proptest::num::u64::ANY,
+        cmd in 0u8..5,
+    ) {
+        let fm = FlowMod {
+            command: match cmd {
+                0 => FlowModCommand::Add,
+                1 => FlowModCommand::Modify,
+                2 => FlowModCommand::ModifyStrict,
+                3 => FlowModCommand::Delete,
+                _ => FlowModCommand::DeleteStrict,
+            },
+            fmatch,
+            priority,
+            actions,
+            cookie,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            out_port: PortNo::NONE,
+        };
+        let msg = OfpMessage::FlowMod(fm);
+        let bytes = encode(&msg, 7);
+        let (decoded, xid) = decode(&bytes).expect("decode");
+        prop_assert_eq!(xid, 7);
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// The decoder is total: random bytes never panic.
+    #[test]
+    fn codec_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Flow key extraction is total over arbitrary frames.
+    #[test]
+    fn flow_key_extraction_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let _ = FlowKey::extract(&bytes);
+    }
+}
+
+// ---------- classifier vs. reference ----------
+
+fn mk_rule(id: u64, fmatch: FlowMatch, priority: u16) -> Arc<RuleEntry> {
+    use std::sync::atomic::AtomicU64;
+    Arc::new(RuleEntry {
+        id,
+        fmatch,
+        priority,
+        actions: vec![Action::Output(PortNo(1))],
+        cookie: id,
+        idle_timeout: 0,
+        hard_timeout: 0,
+        added_at: 0,
+        last_used: AtomicU64::new(0),
+        n_packets: AtomicU64::new(0),
+        n_bytes: AtomicU64::new(0),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tuple-space lookup equals the brute-force best-priority scan.
+    #[test]
+    fn classifier_agrees_with_linear_scan(
+        rules in proptest::collection::vec((flow_match(), 0u16..8), 0..24),
+        port in 0u16..6,
+        key in flow_key(),
+    ) {
+        let rules: Vec<Arc<RuleEntry>> = rules
+            .into_iter()
+            .enumerate()
+            .map(|(i, (m, p))| mk_rule(i as u64, m, p))
+            .collect();
+        let mut cls = Classifier::new();
+        for r in &rules {
+            cls.insert(r);
+        }
+        let got = cls.lookup(PortNo(port), &key).map(|r| r.id);
+        let expected = rules
+            .iter()
+            .filter(|r| r.fmatch.matches(PortNo(port), &key))
+            .max_by(|a, b| {
+                a.priority
+                    .cmp(&b.priority)
+                    .then(b.id.cmp(&a.id)) // lower id wins ties
+            })
+            .map(|r| r.id);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Removing every rule empties the classifier (no stale matches).
+    #[test]
+    fn classifier_remove_is_complete(
+        rules in proptest::collection::vec((flow_match(), 0u16..8), 1..16),
+        key in flow_key(),
+    ) {
+        let rules: Vec<Arc<RuleEntry>> = rules
+            .into_iter()
+            .enumerate()
+            .map(|(i, (m, p))| mk_rule(i as u64, m, p))
+            .collect();
+        let mut cls = Classifier::new();
+        for r in &rules {
+            cls.insert(r);
+        }
+        for r in &rules {
+            cls.remove(r);
+        }
+        prop_assert_eq!(cls.subtable_count(), 0);
+        prop_assert!(cls.lookup(PortNo(1), &key).is_none());
+    }
+}
+
+// ---------- detector soundness ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Independent restatement of the detector's contract: a reported link
+    /// src→dst implies (a) a rule matching exactly in_port=src with the
+    /// single action Output(dst), and (b) no other rule that could ever see
+    /// traffic from src. A false positive here would steal traffic.
+    #[test]
+    fn detector_reports_only_sound_links(
+        table in proptest::collection::vec(
+            (flow_match(), proptest::collection::vec(action(), 0..3), proptest::num::u64::ANY),
+            0..12,
+        ),
+    ) {
+        let snapshot: Vec<RuleSnapshot> = table
+            .into_iter()
+            .enumerate()
+            .map(|(i, (fmatch, actions, cookie))| RuleSnapshot {
+                id: i as u64,
+                fmatch,
+                priority: 100,
+                actions,
+                cookie,
+            })
+            .collect();
+        let links = detect_p2p_links(&snapshot);
+        for (src, link) in &links {
+            prop_assert_eq!(*src, link.src);
+            // (a) the witness rule exists…
+            let witnesses: Vec<_> = snapshot
+                .iter()
+                .filter(|r| {
+                    r.fmatch.only_in_port() == Some(PortNo(link.src as u16))
+                        && r.actions == vec![Action::Output(PortNo(link.dst as u16))]
+                })
+                .collect();
+            prop_assert!(!witnesses.is_empty(), "no witness rule for {link:?}");
+            // (b) …and nothing else covers the source port.
+            let witness_id = witnesses[0].id;
+            for r in &snapshot {
+                if r.id != witness_id {
+                    prop_assert!(
+                        !r.fmatch.covers_in_port(PortNo(link.src as u16)),
+                        "rule {} also covers port {}",
+                        r.id,
+                        link.src
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------- ring model ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SPSC ring behaves exactly like a bounded FIFO queue.
+    #[test]
+    fn ring_matches_fifo_model(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let (mut p, mut c) = spsc_ring::<u32>(8);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        for push in ops {
+            if push {
+                let res = p.enqueue(next);
+                if model.len() < 8 {
+                    prop_assert!(res.is_ok());
+                    model.push_back(next);
+                } else {
+                    prop_assert_eq!(res, Err(next));
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(c.dequeue(), model.pop_front());
+            }
+            prop_assert_eq!(p.len(), model.len());
+        }
+    }
+}
+
+// ---------- stats region ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Counter cells are exact under any interleaving of adds.
+    #[test]
+    fn stats_region_sums_exactly(adds in proptest::collection::vec((0u64..4, 1u64..100), 1..64)) {
+        use vnf_highway::shmem::StatsRegion;
+        let region = StatsRegion::new();
+        let mut expected = std::collections::HashMap::new();
+        for (cookie, pkts) in &adds {
+            region.rule_cell(*cookie).add(*pkts, pkts * 64);
+            let e = expected.entry(*cookie).or_insert((0u64, 0u64));
+            e.0 += pkts;
+            e.1 += pkts * 64;
+        }
+        for (cookie, (pkts, bytes)) in expected {
+            prop_assert_eq!(region.rule_totals(cookie), (pkts, bytes));
+        }
+    }
+}
+
+// ---------- DES vs analytic solver ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The packet-level discrete-event simulator and the closed-form
+    /// bottleneck solver agree at saturation for ANY (sane) cost model and
+    /// chain — the figures do not depend on which one we trust.
+    #[test]
+    fn des_and_solver_agree_for_random_cost_models(
+        n_vms in 1usize..8,
+        nic_edge in proptest::bool::ANY,
+        highway in proptest::bool::ANY,
+        ring in 20.0f64..120.0,
+        emc in 60.0f64..400.0,
+        vnf in 50.0f64..2000.0,
+        pmd_cores in 1u8..4,
+    ) {
+        use vnf_highway::model::{solve, ChainSim, ChainSpec, CostModel, Mode};
+        let mut cost = CostModel::paper_testbed().with_pmd_cores(f64::from(pmd_cores));
+        cost.ring_enqueue = ring;
+        cost.ring_dequeue = ring;
+        cost.emc_hit = emc;
+        cost.vnf_app = vnf;
+        let n = if nic_edge { n_vms } else { n_vms.max(2) };
+        let mode = if highway { Mode::Highway } else { Mode::Vanilla };
+        let spec = if nic_edge {
+            ChainSpec::nic(n, mode)
+        } else {
+            ChainSpec::memory(n, mode)
+        };
+        let analytic = solve(&spec, &cost).aggregate_mpps;
+        let des = ChainSim::new(&spec, &cost).saturate(6_000).aggregate_mpps;
+        let err = (des - analytic).abs() / analytic;
+        prop_assert!(
+            err < 0.12,
+            "DES {des:.3} vs analytic {analytic:.3} Mpps ({:.1}% off) for {spec:?}",
+            err * 100.0
+        );
+    }
+}
+
+// ---------- codec: port/aggregate/table messages ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The port-state and stats extensions round-trip for arbitrary field
+    /// values, like the flow_mod core.
+    #[test]
+    fn codec_port_and_stats_roundtrip(
+        port in 0u16..u16::MAX,
+        down in proptest::bool::ANY,
+        reason in 0u8..3,
+        name in "[a-z0-9]{0,15}",
+        pkts in proptest::num::u64::ANY,
+        bytes in proptest::num::u64::ANY,
+        flows in proptest::num::u32::ANY,
+        fmatch in flow_match(),
+    ) {
+        use vnf_highway::openflow::messages::*;
+
+        let pm = OfpMessage::PortMod(PortMod { port_no: PortNo(port), down });
+        let (decoded, _) = decode(&encode(&pm, 7)).unwrap();
+        prop_assert_eq!(decoded, pm);
+
+        let ps = OfpMessage::PortStatus(PortStatus {
+            reason: match reason {
+                0 => PortStatusReason::Add,
+                1 => PortStatusReason::Delete,
+                _ => PortStatusReason::Modify,
+            },
+            port_no: port,
+            name: name.clone(),
+            down,
+        });
+        let (decoded, _) = decode(&encode(&ps, 7)).unwrap();
+        prop_assert_eq!(decoded, ps);
+
+        let agg_req = OfpMessage::AggregateStatsRequest(AggregateStatsRequest {
+            fmatch,
+            out_port: PortNo(port),
+        });
+        let (decoded, _) = decode(&encode(&agg_req, 7)).unwrap();
+        prop_assert_eq!(decoded, agg_req);
+
+        let agg = OfpMessage::AggregateStatsReply(AggregateStats {
+            packet_count: pkts,
+            byte_count: bytes,
+            flow_count: flows,
+        });
+        let (decoded, _) = decode(&encode(&agg, 7)).unwrap();
+        prop_assert_eq!(decoded, agg);
+
+        let tbl = OfpMessage::TableStatsReply(vec![TableStatsEntry {
+            table_id: 0,
+            name,
+            max_entries: flows,
+            active_count: flows / 2,
+            lookup_count: pkts,
+            matched_count: pkts / 2,
+        }]);
+        let (decoded, _) = decode(&encode(&tbl, 7)).unwrap();
+        prop_assert_eq!(decoded, tbl);
+    }
+}
+
+// ---------- subsumption is a partial order ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The loose-filter relation used by modify/delete/stats behaves like
+    /// a partial order restricted to match semantics: reflexive,
+    /// transitive, and consistent with FlowMatch::any() as top element.
+    #[test]
+    fn loose_filter_is_reflexive_transitive(
+        a in flow_match(),
+        b in flow_match(),
+        c in flow_match(),
+    ) {
+        use vnf_highway::ovs::table::loose_filter_matches;
+        prop_assert!(loose_filter_matches(&a, &a), "reflexivity");
+        prop_assert!(loose_filter_matches(&FlowMatch::any(), &a), "any() is top");
+        if loose_filter_matches(&a, &b) && loose_filter_matches(&b, &c) {
+            prop_assert!(loose_filter_matches(&a, &c), "transitivity {a:?} {b:?} {c:?}");
+        }
+    }
+}
+
+// ---------- acceleration policy ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Excluded ports never appear in the policy-filtered link set, and
+    /// removing the exclusions restores exactly the detector's output.
+    #[test]
+    fn policy_filter_is_sound_and_complete(
+        rules in proptest::collection::vec((1u16..12, 1u16..12, proptest::num::u64::ANY), 0..12),
+        excluded in proptest::collection::btree_set(1u32..12, 0..4),
+    ) {
+        use vnf_highway::highway::AccelerationPolicy;
+        let snapshot: Vec<RuleSnapshot> = rules
+            .iter()
+            .enumerate()
+            .map(|(i, (src, dst, cookie))| RuleSnapshot {
+                id: i as u64,
+                fmatch: FlowMatch::in_port(PortNo(*src)),
+                priority: 100,
+                actions: vec![Action::Output(PortNo(*dst))],
+                cookie: *cookie,
+            })
+            .collect();
+        let links = detect_p2p_links(&snapshot);
+        let mut policy = AccelerationPolicy::paper();
+        for p in &excluded {
+            policy = policy.exclude_port(*p);
+        }
+        let filtered: Vec<_> = links
+            .values()
+            .filter(|l| policy.allows(l.src, l.dst))
+            .collect();
+        for l in &filtered {
+            prop_assert!(!excluded.contains(&l.src));
+            prop_assert!(!excluded.contains(&l.dst));
+        }
+        // Completeness: nothing else was removed.
+        let removed = links.len() - filtered.len();
+        let should_remove = links
+            .values()
+            .filter(|l| excluded.contains(&l.src) || excluded.contains(&l.dst))
+            .count();
+        prop_assert_eq!(removed, should_remove);
+    }
+}
