@@ -44,8 +44,7 @@ fn bench_burst_amortisation(c: &mut Criterion) {
             let frame = PacketBuilder::udp_probe(64).build();
             let mut out = Vec::with_capacity(burst);
             b.iter(|| {
-                let mut batch: Vec<Mbuf> =
-                    (0..burst).map(|_| Mbuf::from_slice(&frame)).collect();
+                let mut batch: Vec<Mbuf> = (0..burst).map(|_| Mbuf::from_slice(&frame)).collect();
                 tx.send_burst(&mut batch);
                 out.clear();
                 rx.recv_burst(&mut out, burst);
@@ -158,9 +157,7 @@ fn bench_detector_worst_case(c: &mut Criterion) {
             n_bytes: AtomicU64::new(0),
         });
         let keys: Vec<FlowKey> = (0..512u16)
-            .map(|i| {
-                FlowKey::extract(&PacketBuilder::udp_probe(64).ports(i, 80).build())
-            })
+            .map(|i| FlowKey::extract(&PacketBuilder::udp_probe(64).ports(i, 80).build()))
             .collect();
         let mut emc = Emc::new(64); // much smaller than the key set
         let mut i = 0usize;

@@ -53,7 +53,14 @@ fn main() {
         // Barrier: the detection happened before we wait on reconciliation.
         ctrl.barrier(Duration::from_secs(5)).expect("barrier");
         assert!(node.wait_highway_converged(Duration::from_secs(10)));
-        samples_ms.push(node.setup_log().last().expect("setup recorded").setup_time().as_secs_f64() * 1e3);
+        samples_ms.push(
+            node.setup_log()
+                .last()
+                .expect("setup recorded")
+                .setup_time()
+                .as_secs_f64()
+                * 1e3,
+        );
         ctrl.del_flow_strict(FlowMatch::in_port(PortNo(src as u16)), 100)
             .expect("delete");
         ctrl.barrier(Duration::from_secs(5)).expect("barrier");
@@ -73,12 +80,32 @@ fn main() {
     let mem_cost = cost.with_pmd_cores(1.0);
     let nic_cost = cost.with_pmd_cores(3.0);
     let configs: Vec<(&str, ChainSpec, &CostModel)> = vec![
-        ("3a N=2 vanilla", ChainSpec::memory(2, Mode::Vanilla), &mem_cost),
-        ("3a N=8 vanilla", ChainSpec::memory(8, Mode::Vanilla), &mem_cost),
-        ("3a N=8 highway", ChainSpec::memory(8, Mode::Highway), &mem_cost),
+        (
+            "3a N=2 vanilla",
+            ChainSpec::memory(2, Mode::Vanilla),
+            &mem_cost,
+        ),
+        (
+            "3a N=8 vanilla",
+            ChainSpec::memory(8, Mode::Vanilla),
+            &mem_cost,
+        ),
+        (
+            "3a N=8 highway",
+            ChainSpec::memory(8, Mode::Highway),
+            &mem_cost,
+        ),
         ("3b N=1 either", ChainSpec::nic(1, Mode::Vanilla), &nic_cost),
-        ("3b N=8 vanilla", ChainSpec::nic(8, Mode::Vanilla), &nic_cost),
-        ("3b N=8 highway", ChainSpec::nic(8, Mode::Highway), &nic_cost),
+        (
+            "3b N=8 vanilla",
+            ChainSpec::nic(8, Mode::Vanilla),
+            &nic_cost,
+        ),
+        (
+            "3b N=8 highway",
+            ChainSpec::nic(8, Mode::Highway),
+            &nic_cost,
+        ),
     ];
     for (name, spec, c) in configs {
         let analytic = simnet::solve(&spec, c).aggregate_mpps;

@@ -16,7 +16,5 @@ fn main() {
     );
     let last = rows.last().expect("rows");
     let improvement = 100.0 * (1.0 - last.highway / last.traditional);
-    println!(
-        "shape check: improvement at 8 VMs = {improvement:.0}% (paper: ~80%)\n"
-    );
+    println!("shape check: improvement at 8 VMs = {improvement:.0}% (paper: ~80%)\n");
 }

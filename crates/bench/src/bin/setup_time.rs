@@ -37,7 +37,13 @@ fn main() {
         );
         let log = node.setup_log();
         assert_eq!(log.len(), trial + 1, "one new setup per trial");
-        samples_ms.push(log.last().expect("setup recorded").setup_time().as_secs_f64() * 1e3);
+        samples_ms.push(
+            log.last()
+                .expect("setup recorded")
+                .setup_time()
+                .as_secs_f64()
+                * 1e3,
+        );
 
         // Remove the rule; the teardown runs before the next trial.
         ctrl.del_flow_strict(FlowMatch::in_port(PortNo(src as u16)), 100)

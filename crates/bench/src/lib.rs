@@ -67,7 +67,8 @@ pub fn summarize_ms(samples: &[f64]) -> String {
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-    let p = |q: f64| sorted[((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)];
+    let p =
+        |q: f64| sorted[((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)];
     format!(
         "n={} min={:.1}ms p50={:.1}ms mean={:.1}ms p90={:.1}ms max={:.1}ms",
         sorted.len(),

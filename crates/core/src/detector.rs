@@ -172,10 +172,7 @@ mod tests {
         let rules = vec![snap(
             1,
             FlowMatch::in_port(PortNo(1)),
-            vec![
-                Action::Output(PortNo(2)),
-                Action::Output(PortNo(3)),
-            ],
+            vec![Action::Output(PortNo(2)), Action::Output(PortNo(3))],
             0,
         )];
         assert!(detect_p2p_links(&rules).is_empty());

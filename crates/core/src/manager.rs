@@ -76,6 +76,11 @@ struct Shared {
     log: Vec<SetupRecord>,
     /// Setup/teardown failures (agent errors), for observability.
     failures: Vec<String>,
+    /// True while the worker is driving the agent for one operation.
+    /// Convergence checks must not report "converged" mid-operation:
+    /// desired/actual only reflect *completed* work, and callers (tests,
+    /// experiments) use convergence as a quiescence barrier.
+    inflight: bool,
 }
 
 /// The highway manager. Implements [`FlowTableObserver`]; owns the worker.
@@ -188,24 +193,42 @@ impl HighwayManager {
         self.shared.lock().failures.clone()
     }
 
+    /// True when the actual link set matches the desired one right now
+    /// and no agent operation is in flight.
+    pub fn is_converged(&self) -> bool {
+        let s = self.shared.lock();
+        !s.inflight
+            && s.desired.len() == s.actual.len()
+            && s.desired
+                .iter()
+                .all(|(src, (link, _))| s.actual.get(src) == Some(link))
+    }
+
     /// Blocks until the actual link set matches the desired one (or the
     /// timeout passes). Test/experiment helper.
     pub fn wait_converged(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            {
-                let s = self.shared.lock();
-                let desired: BTreeMap<u32, P2pLink> =
-                    s.desired.iter().map(|(k, (l, _))| (*k, *l)).collect();
-                if desired == s.actual {
-                    return true;
-                }
+            if self.is_converged() {
+                return true;
             }
             if Instant::now() > deadline {
                 return false;
             }
             std::thread::sleep(Duration::from_millis(1));
         }
+    }
+
+    /// Re-derives the desired link set from the cached rule snapshot —
+    /// for events that change link *serviceability* without touching the
+    /// flow table (VM registration, in particular).
+    pub fn refresh(&self) {
+        let now = Instant::now();
+        {
+            let mut s = self.shared.lock();
+            self.recompute_desired(&mut s, now);
+        }
+        self.wake_worker();
     }
 
     /// Recomputes the desired link set from the latest rules, port state
@@ -219,6 +242,13 @@ impl HighwayManager {
                 continue;
             }
             if s.down_ports.contains(&link.src) || s.down_ports.contains(&link.dst) {
+                continue;
+            }
+            // A bypass needs a guest PMD on both ends. Links touching
+            // non-VM ports (NICs, edge dpdkrs, VMs that have not booted
+            // yet) are deferred, not failed: VM registration calls
+            // [`HighwayManager::refresh`] and re-evaluates them.
+            if !self.agent.has_port(link.src) || !self.agent.has_port(link.dst) {
                 continue;
             }
             let stamp = match s.desired.get(&src) {
@@ -253,7 +283,7 @@ impl HighwayManager {
             Teardown(P2pLink),
         }
         let op = {
-            let s = self.shared.lock();
+            let mut s = self.shared.lock();
             let mut op = None;
             // Teardowns first: frees segments and avoids steering stale
             // traffic along links the table no longer expresses.
@@ -280,6 +310,10 @@ impl HighwayManager {
                     break;
                 }
             }
+            // Flagged under the same lock that chose the operation, so a
+            // convergence check can never see "nothing to do" while an
+            // agent call is about to run on this state.
+            s.inflight = op.is_some();
             op
         };
         match op {
@@ -289,7 +323,10 @@ impl HighwayManager {
                     .record(BypassEventKind::TeardownStarted, link.src, link.dst, "");
                 match self.agent.teardown_bypass(link.src, link.dst) {
                     Ok(report) => {
-                        self.shared.lock().actual.remove(&link.src);
+                        let mut s = self.shared.lock();
+                        s.actual.remove(&link.src);
+                        s.inflight = false;
+                        drop(s);
                         self.journal.record(
                             BypassEventKind::Removed,
                             link.src,
@@ -304,6 +341,7 @@ impl HighwayManager {
                         // rejects unknown directions, so retrying forever
                         // would spin.
                         s.actual.remove(&link.src);
+                        s.inflight = false;
                         drop(s);
                         self.journal.record(
                             BypassEventKind::TeardownFailed,
@@ -327,6 +365,7 @@ impl HighwayManager {
                             detected_at,
                             active_at: Instant::now(),
                         });
+                        s.inflight = false;
                         drop(s);
                         self.journal.record(
                             BypassEventKind::Active,
@@ -341,6 +380,7 @@ impl HighwayManager {
                         // Remove the unsatisfiable desire; a future table
                         // change will re-create it.
                         s.desired.remove(&link.src);
+                        s.inflight = false;
                         drop(s);
                         self.journal.record(
                             BypassEventKind::SetupFailed,
@@ -420,11 +460,8 @@ mod tests {
         for name in ["vm0", "vm1"] {
             let mut vm_ports = Vec::new();
             for _ in 0..2 {
-                let (vm_end, _sw_end) = registry.create_channel(
-                    format!("dpdkr{port}"),
-                    SegmentKind::DpdkrNormal,
-                    64,
-                );
+                let (vm_end, _sw_end) =
+                    registry.create_channel(format!("dpdkr{port}"), SegmentKind::DpdkrNormal, 64);
                 vm_ports.push((port, vm_end));
                 port += 1;
             }
@@ -473,7 +510,12 @@ mod tests {
         assert!(manager.failures().is_empty());
 
         // The journal tells the whole story, in order.
-        let kinds: Vec<_> = manager.journal().snapshot().iter().map(|e| e.kind).collect();
+        let kinds: Vec<_> = manager
+            .journal()
+            .snapshot()
+            .iter()
+            .map(|e| e.kind)
+            .collect();
         assert_eq!(
             kinds,
             vec![
@@ -530,18 +572,41 @@ mod tests {
     }
 
     #[test]
-    fn unsatisfiable_links_are_logged_not_retried_forever() {
-        let (agent, _registry, _vms) = agent_world();
-        let manager = HighwayManager::new(agent);
-        // Port 99 has no VM: setup must fail gracefully.
+    fn links_to_unregistered_ports_are_deferred_until_registration() {
+        let (agent, registry, _vms) = agent_world();
+        let manager = HighwayManager::new(Arc::clone(&agent));
+        // What HighwayNode wires up: registration re-evaluates deferrals.
+        let weak = Arc::downgrade(&manager);
+        agent.on_registration(move || {
+            if let Some(m) = weak.upgrade() {
+                m.refresh();
+            }
+        });
+
+        // Port 99 has no VM: a bypass needs a guest PMD on both ends, so
+        // the link is deferred — not attempted, not logged as a failure.
         manager.table_changed(&[p2p_snapshot(2, 99, 1)]);
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while manager.failures().is_empty() && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        assert_eq!(manager.failures().len(), 1);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
         assert!(manager.active_links().is_empty());
-        assert_eq!(manager.journal().of_kind(BypassEventKind::SetupFailed).len(), 1);
+        assert!(manager.failures().is_empty());
+        assert!(
+            manager.journal().is_empty(),
+            "deferred links are not even Detected"
+        );
+
+        // The VM owning port 99 boots: the cached rules are re-evaluated
+        // and the link comes up without any flow table change.
+        let (vm_end, _sw_end) = registry.create_channel("dpdkr99", SegmentKind::DpdkrNormal, 64);
+        let vm = Vm::launch(
+            "late-vm",
+            vec![(99, vm_end)],
+            Box::new(L2Forwarder::new()),
+            StatsRegion::new(),
+        );
+        agent.register_vm(vm);
+        assert!(manager.wait_converged(Duration::from_secs(5)));
+        assert_eq!(manager.active_links().len(), 1);
+        assert!(manager.failures().is_empty());
         manager.shutdown();
     }
 
@@ -577,7 +642,10 @@ mod tests {
         assert!(manager.wait_converged(Duration::from_secs(5)));
         assert!(manager.active_links().is_empty());
         assert_eq!(registry.live_of_kind(SegmentKind::Bypass).len(), 0);
-        assert!(manager.journal().is_empty(), "excluded links are not even Detected");
+        assert!(
+            manager.journal().is_empty(),
+            "excluded links are not even Detected"
+        );
         manager.shutdown();
     }
 
@@ -599,7 +667,10 @@ mod tests {
         manager.table_changed(&[]);
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(manager.setup_log().len(), 0, "no setup during the flap");
-        assert!(manager.journal().of_kind(BypassEventKind::SetupStarted).is_empty());
+        assert!(manager
+            .journal()
+            .of_kind(BypassEventKind::SetupStarted)
+            .is_empty());
 
         // Once stable, the link is accelerated after the grace period.
         manager.table_changed(&[p2p_snapshot(2, 3, 1)]);

@@ -76,12 +76,25 @@ impl HighwayNode {
         let registry = ShmRegistry::new();
         let stats = StatsRegion::new();
         let agent = Arc::new(ComputeAgent::new(registry.clone(), config.latency));
-        let orchestrator =
-            Orchestrator::new(Arc::clone(&switch), registry.clone(), stats.clone());
+        let orchestrator = Orchestrator::with_agent(
+            Arc::clone(&switch),
+            registry.clone(),
+            stats.clone(),
+            Arc::clone(&agent),
+        );
         let manager = if config.highway_enabled {
             let manager = HighwayManager::with_policy(Arc::clone(&agent), config.policy);
             switch.register_observer(Arc::clone(&manager) as Arc<dyn ovs_dp::FlowTableObserver>);
             switch.set_stats_augmenter(Arc::new(HighwayStatsAugmenter::new(stats.clone())));
+            // Links deferred because an endpoint VM had not registered yet
+            // are re-evaluated the moment it does. Weak: the agent must
+            // not keep the manager (and its worker) alive.
+            let weak = Arc::downgrade(&manager);
+            agent.on_registration(move || {
+                if let Some(manager) = weak.upgrade() {
+                    manager.refresh();
+                }
+            });
             Some(manager)
         } else {
             None
@@ -160,13 +173,26 @@ impl HighwayNode {
             .unwrap_or_default()
     }
 
-    /// Waits until the highway has reconciled every detected link.
-    /// Always true on a vanilla node.
+    /// Waits until the control plane is quiescent *and* the highway has
+    /// reconciled every detected link. Always true on a vanilla node.
+    ///
+    /// The control-idle condition matters: a controller's `add_flow` is
+    /// asynchronous, so without it this could report "converged" against
+    /// the flow table from before a still-queued flow_mod.
     pub fn wait_highway_converged(&self, timeout: Duration) -> bool {
-        self.manager
-            .as_ref()
-            .map(|m| m.wait_converged(timeout))
-            .unwrap_or(true)
+        let Some(manager) = &self.manager else {
+            return true;
+        };
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.switch.control_idle() && manager.is_converged() {
+                return true;
+            }
+            if std::time::Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     /// The bypass setup log (empty on a vanilla node).
@@ -263,7 +289,14 @@ mod tests {
     use vm_host::VnfSpec;
 
     /// Node + a 2-VM chain with edge dpdkr ports; returns edge channel ends.
-    fn chain_node(highway: bool) -> (HighwayNode, shmem_sim::ChannelEnd, shmem_sim::ChannelEnd, vm_host::ChainDeployment) {
+    fn chain_node(
+        highway: bool,
+    ) -> (
+        HighwayNode,
+        shmem_sim::ChannelEnd,
+        shmem_sim::ChannelEnd,
+        vm_host::ChainDeployment,
+    ) {
         let node = HighwayNode::new(if highway {
             HighwayNodeConfig::default()
         } else {
@@ -286,9 +319,9 @@ mod tests {
         node.switch()
             .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
 
-        let dep = node
-            .orchestrator()
-            .deploy_chain(2, entry_no, exit_no, |i| VnfSpec::forwarder(format!("vm{i}")));
+        let dep = node.orchestrator().deploy_chain(2, entry_no, exit_no, |i| {
+            VnfSpec::forwarder(format!("vm{i}"))
+        });
         for vm in &dep.vms {
             node.register_vm(std::sync::Arc::clone(vm));
         }

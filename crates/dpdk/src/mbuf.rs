@@ -86,7 +86,9 @@ impl Mbuf {
     }
 
     fn raw_mut(&mut self) -> &mut [u8] {
-        self.buf.as_deref_mut().expect("mbuf buffer present until drop")
+        self.buf
+            .as_deref_mut()
+            .expect("mbuf buffer present until drop")
     }
 
     /// Packet bytes.

@@ -144,7 +144,9 @@ impl<T> SpscProducer<T> {
         }
         let slot = &self.inner.buf[head & self.inner.mask];
         unsafe { (*slot.get()).write(value) };
-        self.inner.head.store(head.wrapping_add(1), Ordering::Release);
+        self.inner
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -165,7 +167,9 @@ impl<T> SpscProducer<T> {
             }
             let slot = &self.inner.buf[head & self.inner.mask];
             unsafe { (*slot.get()).write(std::ptr::read(item)) };
-            self.inner.head.store(head.wrapping_add(1), Ordering::Release);
+            self.inner
+                .head
+                .store(head.wrapping_add(1), Ordering::Release);
             sent += 1;
         }
         // The first `sent` items were moved out by ptr::read; forget them.
@@ -218,7 +222,9 @@ impl<T> SpscConsumer<T> {
         }
         let slot = &self.inner.buf[tail & self.inner.mask];
         let value = unsafe { (*slot.get()).assume_init_read() };
-        self.inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+        self.inner
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
         Some(value)
     }
 

@@ -185,7 +185,9 @@ impl EthDev for NicModel {
         let mut got = 0;
         while got < max {
             // DMA from NIC to host memory crosses PCIe.
-            let Some(m) = self.rx_queue.dequeue() else { break };
+            let Some(m) = self.rx_queue.dequeue() else {
+                break;
+            };
             if let Some(pcie) = &self.pcie {
                 if !pcie.admit(m.len() as u64) {
                     // Bus saturated: the frame waits in the HW queue.

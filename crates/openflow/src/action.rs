@@ -76,7 +76,10 @@ mod tests {
             [Action::Output(PortNo(4))].single_physical_output(),
             Some(PortNo(4))
         );
-        assert_eq!([Action::Output(PortNo::FLOOD)].single_physical_output(), None);
+        assert_eq!(
+            [Action::Output(PortNo::FLOOD)].single_physical_output(),
+            None
+        );
         assert_eq!(
             [Action::SetIpTos(1), Action::Output(PortNo(4))].single_physical_output(),
             None

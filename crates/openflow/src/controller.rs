@@ -20,6 +20,11 @@ pub struct SwitchLink {
 }
 
 impl SwitchLink {
+    /// Messages from the controller not yet picked up by the switch.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
     /// Next message from the controller, if any.
     pub fn try_recv(&self) -> Option<Result<(OfpMessage, u32)>> {
         match self.rx.try_recv() {
@@ -69,7 +74,9 @@ impl ControllerHandle {
     /// Sends any message, returning the xid used.
     pub fn send(&self, msg: &OfpMessage) -> Result<u32> {
         let xid = self.xid();
-        self.tx.send(encode(msg, xid)).map_err(|_| OfError::Disconnected)?;
+        self.tx
+            .send(encode(msg, xid))
+            .map_err(|_| OfError::Disconnected)?;
         Ok(xid)
     }
 
@@ -126,7 +133,9 @@ impl ControllerHandle {
 
     /// Strict-deletes a flow.
     pub fn del_flow_strict(&self, fmatch: FlowMatch, priority: u16) -> Result<u32> {
-        self.send(&OfpMessage::FlowMod(FlowMod::delete_strict(fmatch, priority)))
+        self.send(&OfpMessage::FlowMod(FlowMod::delete_strict(
+            fmatch, priority,
+        )))
     }
 
     /// Requests statistics for all flows and waits for the reply.
@@ -176,11 +185,7 @@ impl ControllerHandle {
     }
 
     /// Requests aggregate statistics over rules covered by `fmatch`.
-    pub fn aggregate_stats(
-        &self,
-        fmatch: FlowMatch,
-        timeout: Duration,
-    ) -> Result<AggregateStats> {
+    pub fn aggregate_stats(&self, fmatch: FlowMatch, timeout: Duration) -> Result<AggregateStats> {
         let xid = self.send(&OfpMessage::AggregateStatsRequest(AggregateStatsRequest {
             fmatch,
             out_port: PortNo::NONE,

@@ -348,7 +348,10 @@ mod tests {
         let k = key();
         assert!(rule.matches(PortNo(1), &k));
         let mask = rule.mask();
-        assert_eq!(FlowMatch::project(&mask, PortNo(1), &k), rule.own_projection());
+        assert_eq!(
+            FlowMatch::project(&mask, PortNo(1), &k),
+            rule.own_projection()
+        );
         // And a non-matching packet projects to a different key.
         let mut other = k;
         other.l4_dst = 999;

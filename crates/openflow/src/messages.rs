@@ -308,8 +308,12 @@ mod tests {
 
     #[test]
     fn flow_mod_builders() {
-        let add = FlowMod::add(FlowMatch::in_port(PortNo(1)), 100, vec![Action::Output(PortNo(2))])
-            .with_cookie(7);
+        let add = FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            100,
+            vec![Action::Output(PortNo(2))],
+        )
+        .with_cookie(7);
         assert_eq!(add.command, FlowModCommand::Add);
         assert_eq!(add.cookie, 7);
         assert_eq!(add.out_port, PortNo::NONE);

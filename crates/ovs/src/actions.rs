@@ -8,8 +8,7 @@
 use dpdk_sim::Mbuf;
 use openflow::{Action, PortNo};
 use packet_wire::{
-    EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram,
-    ETHERNET_HEADER_LEN,
+    EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram, ETHERNET_HEADER_LEN,
 };
 
 /// Where a packet must go after action execution.
@@ -288,6 +287,8 @@ mod tests {
         execute(&mut pkt, &[Action::SetIpTos(0x2e)]);
         assert_eq!(FlowKey::extract(pkt.data()).ip_tos, 0x2e);
         let eth = EthernetFrame::new_checked(pkt.data()).unwrap();
-        assert!(Ipv4Packet::new_checked(eth.payload()).unwrap().verify_checksum());
+        assert!(Ipv4Packet::new_checked(eth.payload())
+            .unwrap()
+            .verify_checksum());
     }
 }

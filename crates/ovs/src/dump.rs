@@ -112,7 +112,11 @@ pub fn dump_ports(dp: &Datapath) -> String {
             "  port {:>4} ({}){}: rx pkts={}, bytes={}, drop={} | tx pkts={}, bytes={}, drop={}\n",
             port.no.0,
             port.name,
-            if port.is_admin_up() { "" } else { " [PORT_DOWN]" },
+            if port.is_admin_up() {
+                ""
+            } else {
+                " [PORT_DOWN]"
+            },
             s.ipackets,
             s.ibytes,
             s.imissed,
@@ -136,9 +140,9 @@ mod tests {
         let mut m = FlowMatch::in_port(PortNo(1));
         m.eth_type = Some(0x0800);
         m.l4_dst = Some(80);
-        dp.table.write().apply(
-            &FlowMod::add(m, 200, vec![Action::Output(PortNo(2))]).with_cookie(0xbeef),
-        );
+        dp.table
+            .write()
+            .apply(&FlowMod::add(m, 200, vec![Action::Output(PortNo(2))]).with_cookie(0xbeef));
         dp.table
             .write()
             .apply(&FlowMod::add(FlowMatch::any(), 1, vec![]));

@@ -39,7 +39,7 @@ pub mod table;
 pub mod vswitchd;
 
 pub use ofproto::{FlowTableObserver, Ofproto, RuleSnapshot, StatsAugmenter};
-pub use port::{OvsPort, PortBackend, PortCounters};
 pub use pmd::PmdThread;
+pub use port::{OvsPort, PortBackend, PortCounters};
 pub use table::{FlowTable, RuleEntry, TableChange};
 pub use vswitchd::{VSwitchd, VSwitchdConfig};

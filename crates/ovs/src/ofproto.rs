@@ -86,6 +86,9 @@ pub struct Ofproto {
     /// Last bypass packet count seen per rule cookie, so the idle-timeout
     /// sweep can tell "idle" from "busy, but over a bypass channel".
     bypass_progress: Mutex<BTreeMap<u64, u64>>,
+    /// True while [`Ofproto::poll`] has dequeued a controller message it
+    /// has not finished applying; see [`Ofproto::control_idle`].
+    control_inflight: std::sync::atomic::AtomicBool,
     datapath_id: u64,
 }
 
@@ -98,8 +101,27 @@ impl Ofproto {
             observers: Mutex::new(Vec::new()),
             augmenter: Mutex::new(None),
             bypass_progress: Mutex::new(BTreeMap::new()),
+            control_inflight: std::sync::atomic::AtomicBool::new(false),
             datapath_id,
         }
+    }
+
+    /// True when no controller message is queued or being applied. A true
+    /// result means every control message sent *before this call* has
+    /// taken effect on the flow table — the switch-side half of a
+    /// barrier, used by convergence waits that must not observe the table
+    /// from before an in-flight flow_mod.
+    pub fn control_idle(&self) -> bool {
+        // The pending check and the in-flight flag are reconciled under
+        // the link lock: poll() raises the flag before releasing the lock
+        // it dequeued under, so "empty queue, flag down" cannot name a
+        // message that is secretly being applied.
+        let guard = self.link.lock();
+        let pending = guard.as_ref().map(|l| l.pending()).unwrap_or(0);
+        pending == 0
+            && !self
+                .control_inflight
+                .load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Attaches (or replaces) the controller link.
@@ -307,8 +329,8 @@ impl Ofproto {
                     fmatch: r.fmatch,
                     priority: r.priority,
                     cookie: r.cookie,
-                    duration_sec: (cycles::to_duration(now.saturating_sub(r.added_at)))
-                        .as_secs() as u32,
+                    duration_sec: (cycles::to_duration(now.saturating_sub(r.added_at))).as_secs()
+                        as u32,
                     idle_timeout: r.idle_timeout,
                     hard_timeout: r.hard_timeout,
                     packet_count: packets,
@@ -327,10 +349,7 @@ impl Ofproto {
             .filter(|p| req.port_no == PortNo::NONE || p.no == req.port_no)
             .map(|p| {
                 let s = p.stats();
-                let extra = aug
-                    .as_ref()
-                    .map(|a| a.port_extra(p.no))
-                    .unwrap_or_default();
+                let extra = aug.as_ref().map(|a| a.port_extra(p.no)).unwrap_or_default();
                 PortStatsEntry {
                     port_no: p.no.0,
                     rx_packets: s.ipackets + extra.rx_packets,
@@ -423,18 +442,29 @@ impl Ofproto {
         for pi in self.dp.drain_packet_ins(64) {
             self.send(&OfpMessage::PacketIn(pi), 0);
         }
+        use std::sync::atomic::Ordering;
         loop {
             let msg = {
                 let guard = self.link.lock();
-                match guard.as_ref() {
+                let msg = match guard.as_ref() {
                     Some(link) => link.try_recv(),
                     None => None,
+                };
+                // Raised before the dequeue's lock is released, so
+                // `control_idle` never sees "queue empty, nothing
+                // in flight" while a message awaits application below.
+                if msg.is_some() {
+                    self.control_inflight.store(true, Ordering::Release);
                 }
+                msg
             };
             let Some(msg) = msg else { break };
             let (msg, xid) = match msg {
                 Ok(m) => m,
-                Err(OfError::Disconnected) => break,
+                Err(OfError::Disconnected) => {
+                    self.control_inflight.store(false, Ordering::Release);
+                    break;
+                }
                 Err(_e) => {
                     self.send(
                         &OfpMessage::Error {
@@ -443,6 +473,7 @@ impl Ofproto {
                         },
                         0,
                     );
+                    self.control_inflight.store(false, Ordering::Release);
                     continue;
                 }
             };
@@ -489,6 +520,7 @@ impl Ofproto {
                     let _ = other;
                 }
             }
+            self.control_inflight.store(false, Ordering::Release);
         }
         handled
     }

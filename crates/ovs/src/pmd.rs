@@ -297,8 +297,14 @@ impl PmdThread {
                 }
                 idle = false;
                 for pkt in rx_buf.drain(..) {
-                    self.dp
-                        .process_packet(pkt, port.no, Some(&mut emc), &mut staged, &snapshot, now);
+                    self.dp.process_packet(
+                        pkt,
+                        port.no,
+                        Some(&mut emc),
+                        &mut staged,
+                        &snapshot,
+                        now,
+                    );
                 }
                 self.dp.flush_staged(&mut staged);
             }
@@ -323,7 +329,9 @@ mod tests {
     }
 
     /// Builds a 2-port datapath; returns (dp, vm1 end, vm2 end).
-    fn two_port_dp(miss_to_controller: bool) -> (Arc<Datapath>, shmem_sim::ChannelEnd, shmem_sim::ChannelEnd) {
+    fn two_port_dp(
+        miss_to_controller: bool,
+    ) -> (Arc<Datapath>, shmem_sim::ChannelEnd, shmem_sim::ChannelEnd) {
         let dp = Datapath::new(miss_to_controller);
         let (sw1, vm1) = channel("dpdkr1", 64);
         let (sw2, vm2) = channel("dpdkr2", 64);
@@ -408,7 +416,10 @@ mod tests {
         dp.table.write().apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             10,
-            vec![Action::Output(PortNo::CONTROLLER), Action::Output(PortNo(2))],
+            vec![
+                Action::Output(PortNo::CONTROLLER),
+                Action::Output(PortNo(2)),
+            ],
         ));
         vm1.send(probe()).unwrap();
         pump(&dp);

@@ -235,7 +235,11 @@ impl FlowTable {
                             fmatch: rule.fmatch,
                             priority: rule.priority,
                             actions: fm.actions.clone(),
-                            cookie: if fm.cookie != 0 { fm.cookie } else { rule.cookie },
+                            cookie: if fm.cookie != 0 {
+                                fm.cookie
+                            } else {
+                                rule.cookie
+                            },
                             idle_timeout: rule.idle_timeout,
                             hard_timeout: rule.hard_timeout,
                             added_at: rule.added_at,
@@ -336,11 +340,7 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key_to(dst_port: u16) -> FlowKey {
-        FlowKey::extract(
-            &PacketBuilder::udp_probe(64)
-                .ports(1000, dst_port)
-                .build(),
-        )
+        FlowKey::extract(&PacketBuilder::udp_probe(64).ports(1000, dst_port).build())
     }
 
     fn out(p: u16) -> Vec<Action> {

@@ -140,6 +140,12 @@ impl VSwitchd {
         self.ofproto.apply_flow_mod(fm);
     }
 
+    /// True when no controller message is queued or mid-application — all
+    /// control traffic sent before this call has reached the flow table.
+    pub fn control_idle(&self) -> bool {
+        self.ofproto.control_idle()
+    }
+
     /// Starts the PMD thread(s) and the housekeeping/control thread.
     pub fn start(&self) {
         let mut threads = self.threads.lock();

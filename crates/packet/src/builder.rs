@@ -22,7 +22,8 @@ pub const PROBE_WIRE_LEN: usize = 16;
 /// Smallest frame that can carry a probe:
 /// 14 (eth) + 20 (ipv4) + 8 (udp) + 16 (probe) = 58 < 60, so 60 B and the
 /// paper's 64 B frames both fit.
-pub const MIN_PROBE_FRAME: usize = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + PROBE_WIRE_LEN;
+pub const MIN_PROBE_FRAME: usize =
+    ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + PROBE_WIRE_LEN;
 
 impl ProbeHeader {
     /// Reads a probe header from the front of a UDP payload.
@@ -89,7 +90,10 @@ impl PacketBuilder {
             ttl: 64,
             src_port: 1000,
             dst_port: 2000,
-            probe: ProbeHeader { seq: 0, tx_cycles: 0 },
+            probe: ProbeHeader {
+                seq: 0,
+                tx_cycles: 0,
+            },
             checksums: true,
         }
     }
@@ -215,7 +219,10 @@ mod tests {
         let pkt = PacketBuilder::udp_probe(128).seq(7).build();
         assert_eq!(
             ProbeHeader::from_frame(&pkt).unwrap(),
-            ProbeHeader { seq: 7, tx_cycles: 0 }
+            ProbeHeader {
+                seq: 7,
+                tx_cycles: 0
+            }
         );
     }
 

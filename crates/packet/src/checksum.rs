@@ -36,10 +36,7 @@ pub fn pseudo_header_sum(
 ) -> u32 {
     let s = src.octets();
     let d = dst.octets();
-    raw_sum(&s)
-        + raw_sum(&d)
-        + u32::from(protocol)
-        + u32::from(length)
+    raw_sum(&s) + raw_sum(&d) + u32::from(protocol) + u32::from(length)
 }
 
 /// Checksum of a transport segment including its IPv4 pseudo header.

@@ -163,9 +163,7 @@ mod tests {
     #[test]
     fn vlan_tag_is_unwrapped() {
         // Hand-build an 802.1Q tagged UDP packet.
-        let inner = PacketBuilder::udp_probe(64)
-            .ports(7, 8)
-            .build();
+        let inner = PacketBuilder::udp_probe(64).ports(7, 8).build();
         let mut tagged = Vec::new();
         tagged.extend_from_slice(&inner[0..12]); // MACs
         tagged.extend_from_slice(&0x8100u16.to_be_bytes());

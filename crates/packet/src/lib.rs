@@ -28,10 +28,10 @@ pub mod tcp;
 pub mod udp;
 
 pub use arp::{ArpOperation, ArpPacket};
-pub use icmp::{IcmpPacket, IcmpType, ICMP_HEADER_LEN};
 pub use builder::{PacketBuilder, ProbeHeader, PROBE_WIRE_LEN};
 pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 pub use flow::FlowKey;
+pub use icmp::{IcmpPacket, IcmpType, ICMP_HEADER_LEN};
 pub use ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
 pub use tcp::TcpSegment;
 pub use udp::{UdpDatagram, UDP_HEADER_LEN};

@@ -80,7 +80,8 @@ impl<T: AsRef<[u8]>> UdpDatagram<T> {
         }
         let len = usize::from(self.len_field());
         let segment = &self.buffer.as_ref()[..len];
-        let sum = checksum::pseudo_header_sum(src, dst, 17, len as u16) + checksum::raw_sum(segment);
+        let sum =
+            checksum::pseudo_header_sum(src, dst, 17, len as u16) + checksum::raw_sum(segment);
         checksum::fold(sum) == 0xffff
     }
 

@@ -25,10 +25,10 @@ pub mod serial;
 pub mod stats;
 
 pub use channel::{channel, ChannelEnd};
+pub use ivshmem::DeviceBoard;
 pub use ivshmem::IvshmemDevice;
 pub use registry::{SegmentKind, SegmentRecord, ShmRegistry};
 pub use serial::{serial_pair, SerialError, SerialPort};
-pub use ivshmem::DeviceBoard;
 pub use stats::{CounterCell, PortDir, StatsRegion};
 
 /// Default ring depth of a channel direction, matching the prototype's

@@ -161,7 +161,11 @@ mod tests {
         let rows = frame_size_sweep(4, &cost());
         assert_eq!(rows.len(), 6);
         // 64 B: CPU-bound, big gap. 1518 B: both at wire rate, gap gone.
-        assert!(rows[0].speedup() > 1.5, "64 B speedup {:.2}", rows[0].speedup());
+        assert!(
+            rows[0].speedup() > 1.5,
+            "64 B speedup {:.2}",
+            rows[0].speedup()
+        );
         let last = rows.last().unwrap();
         assert!(
             (last.speedup() - 1.0).abs() < 0.05,

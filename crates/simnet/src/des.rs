@@ -223,8 +223,7 @@ impl ChainSim {
                 state ^= state >> 12;
                 state ^= state << 25;
                 state ^= state >> 27;
-                let u = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64
-                    / (1u64 << 53) as f64;
+                let u = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
                 t += -u.max(1e-12).ln() * mean_interval;
                 out.push(t as u64);
             }
@@ -564,11 +563,7 @@ mod tests {
         assert_eq!(r.delivered, 2_000);
         let served = sim.served();
         // The single forwarder carries every packet of both directions.
-        let fwd = served
-            .iter()
-            .find(|(n, _)| *n == "vm-forwarder")
-            .unwrap()
-            .1;
+        let fwd = served.iter().find(|(n, _)| *n == "vm-forwarder").unwrap().1;
         assert_eq!(fwd, 2_000);
         // The switch carries 2 seams × both directions.
         let ovs = served.iter().find(|(n, _)| *n == "ovs-pmd").unwrap().1;

@@ -29,16 +29,20 @@ pub struct LatencyEstimate {
 /// Mean one-way latency of a chain at `load_fraction` of the *vanilla*
 /// configuration's capacity (so both modes are compared at the same
 /// absolute offered load, like the paper's latency experiment).
-pub fn estimate(spec: &ChainSpec, cost: &CostModel, offered_pps_per_direction: f64) -> LatencyEstimate {
+pub fn estimate(
+    spec: &ChainSpec,
+    cost: &CostModel,
+    offered_pps_per_direction: f64,
+) -> LatencyEstimate {
     let rho_ovs = utilisation_at(spec, cost, "ovs-pmd", offered_pps_per_direction);
 
     // Ports the switch polls: every dpdkr port (2 per VM) + NIC ports.
     let switch_ports = (2 * spec.n_vms + spec.nic_seams()) as f64;
     let switch_discovery = switch_ports / 2.0 * cost.empty_poll;
-    let vm_discovery = 2.0 / 2.0 * cost.empty_poll; // a VM polls its 2 ports
+    let vm_ports = 2.0; // a VM polls its 2 dpdkr ports
+    let vm_discovery = vm_ports / 2.0 * cost.empty_poll;
 
-    let ovs_seam =
-        switch_discovery + (cost.ovs_crossing() / (1.0 - rho_ovs)) + vm_discovery;
+    let ovs_seam = switch_discovery + (cost.ovs_crossing() / (1.0 - rho_ovs)) + vm_discovery;
     let bypass_seam = vm_discovery + cost.ring_enqueue + cost.ring_dequeue;
 
     let vm_hop = cost.vnf_app; // processing inside each forwarding VM
@@ -55,11 +59,14 @@ pub fn estimate(spec: &ChainSpec, cost: &CostModel, offered_pps_per_direction: f
 
     let cycles = match spec.mode {
         Mode::Vanilla => {
-            nic_seams * ovs_seam + vm_seams * ovs_seam + spec.forwarding_vms() as f64 * vm_hop
+            nic_seams * ovs_seam
+                + vm_seams * ovs_seam
+                + spec.forwarding_vms() as f64 * vm_hop
                 + nic_wire
         }
         Mode::Highway => {
-            nic_seams * ovs_seam + vm_seams * bypass_seam
+            nic_seams * ovs_seam
+                + vm_seams * bypass_seam
                 + spec.forwarding_vms() as f64 * vm_hop
                 + nic_wire
         }
@@ -73,9 +80,17 @@ pub fn estimate(spec: &ChainSpec, cost: &CostModel, offered_pps_per_direction: f
 
 /// Compares both modes at the same offered load (a fraction of vanilla
 /// capacity) and returns `(vanilla, highway, improvement_fraction)`.
-pub fn compare(n_vms: usize, edge_nic: bool, cost: &CostModel, load_fraction: f64) -> (LatencyEstimate, LatencyEstimate, f64) {
+pub fn compare(
+    n_vms: usize,
+    edge_nic: bool,
+    cost: &CostModel,
+    load_fraction: f64,
+) -> (LatencyEstimate, LatencyEstimate, f64) {
     let (vanilla_spec, highway_spec) = if edge_nic {
-        (ChainSpec::nic(n_vms, Mode::Vanilla), ChainSpec::nic(n_vms, Mode::Highway))
+        (
+            ChainSpec::nic(n_vms, Mode::Vanilla),
+            ChainSpec::nic(n_vms, Mode::Highway),
+        )
     } else {
         (
             ChainSpec::memory(n_vms, Mode::Vanilla),

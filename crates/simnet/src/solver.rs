@@ -51,8 +51,8 @@ fn demands(spec: &ChainSpec, cost: &CostModel) -> Vec<(String, f64, f64)> {
         Mode::Highway => 0.0,
     };
     let per_dir_nic_seams = spec.nic_seams() as f64;
-    let ovs_cycles_per_pair =
-        2.0 * (per_dir_vm_seams * cost.ovs_crossing() + per_dir_nic_seams * cost.ovs_nic_crossing());
+    let ovs_cycles_per_pair = 2.0
+        * (per_dir_vm_seams * cost.ovs_crossing() + per_dir_nic_seams * cost.ovs_nic_crossing());
     if ovs_cycles_per_pair > 0.0 {
         out.push((
             "ovs-pmd".into(),
@@ -67,25 +67,17 @@ fn demands(spec: &ChainSpec, cost: &CostModel) -> Vec<(String, f64, f64)> {
             // Each endpoint VM generates one direction's packet and sinks
             // the other's: one gen+enqueue plus one dequeue+sink per pair.
             // Both endpoints carry identical demand; model one (symmetric).
-            let endpoint = (cost.gen_cost + cost.ring_enqueue)
-                + (cost.ring_dequeue + cost.sink_cost);
+            let endpoint =
+                (cost.gen_cost + cost.ring_enqueue) + (cost.ring_dequeue + cost.sink_cost);
             out.push(("vm-endpoint".into(), endpoint, cost.cpu_hz));
             if spec.forwarding_vms() > 0 {
                 // Every forwarding VM carries both directions.
-                out.push((
-                    "vm-forwarder".into(),
-                    2.0 * cost.vm_forward(),
-                    cost.cpu_hz,
-                ));
+                out.push(("vm-forwarder".into(), 2.0 * cost.vm_forward(), cost.cpu_hz));
             }
         }
         EdgeKind::Nic { .. } => {
             if spec.forwarding_vms() > 0 {
-                out.push((
-                    "vm-forwarder".into(),
-                    2.0 * cost.vm_forward(),
-                    cost.cpu_hz,
-                ));
+                out.push(("vm-forwarder".into(), 2.0 * cost.vm_forward(), cost.cpu_hz));
             }
         }
     }
@@ -225,7 +217,10 @@ mod tests {
         let v8 = solve(&ChainSpec::nic(8, Mode::Vanilla), &cost).aggregate_mpps;
         let h8 = solve(&ChainSpec::nic(8, Mode::Highway), &cost).aggregate_mpps;
         assert!((3.0..=7.0).contains(&v8), "N=8 vanilla at {v8:.1} Mpps");
-        assert!((h8 - h1).abs() < 0.1 * h1, "highway not flat: {h1:.1}→{h8:.1}");
+        assert!(
+            (h8 - h1).abs() < 0.1 * h1,
+            "highway not flat: {h1:.1}→{h8:.1}"
+        );
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct ComputeAgent {
     faults: Arc<FaultPlan>,
     vms_by_port: Mutex<HashMap<u32, Arc<Vm>>>,
     pairs: Mutex<HashMap<(u32, u32), PairState>>,
+    /// Called after every (un)registration, outside the agent's locks.
+    /// The highway manager hooks in here to re-evaluate links that were
+    /// deferred because an endpoint had no VM yet.
+    registration_hooks: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
     ctrl_timeout: Duration,
 }
 
@@ -131,6 +135,7 @@ impl ComputeAgent {
             faults,
             vms_by_port: Mutex::new(HashMap::new()),
             pairs: Mutex::new(HashMap::new()),
+            registration_hooks: Mutex::new(Vec::new()),
             ctrl_timeout: Duration::from_secs(10),
         }
     }
@@ -180,17 +185,44 @@ impl ComputeAgent {
 
     /// Registers a VM so its ports can participate in bypasses.
     pub fn register_vm(&self, vm: Arc<Vm>) {
-        let mut map = self.vms_by_port.lock();
-        for p in vm.of_ports() {
-            map.insert(*p, Arc::clone(&vm));
+        {
+            let mut map = self.vms_by_port.lock();
+            for p in vm.of_ports() {
+                map.insert(*p, Arc::clone(&vm));
+            }
         }
+        self.run_registration_hooks();
     }
 
     /// Unregisters a VM (e.g. on destruction).
     pub fn unregister_vm(&self, vm: &Vm) {
-        let mut map = self.vms_by_port.lock();
-        for p in vm.of_ports() {
-            map.remove(p);
+        {
+            let mut map = self.vms_by_port.lock();
+            for p in vm.of_ports() {
+                map.remove(p);
+            }
+        }
+        self.run_registration_hooks();
+    }
+
+    /// True when some registered VM owns this OpenFlow port. Only such
+    /// ports can terminate a bypass — there is a guest PMD to reconfigure.
+    pub fn has_port(&self, port: u32) -> bool {
+        self.vms_by_port.lock().contains_key(&port)
+    }
+
+    /// Adds a callback invoked after every VM (un)registration, outside
+    /// the agent's locks.
+    pub fn on_registration(&self, hook: impl Fn() + Send + Sync + 'static) {
+        self.registration_hooks.lock().push(Arc::new(hook));
+    }
+
+    fn run_registration_hooks(&self) {
+        // Snapshot under the lock, invoke outside it: a hook may re-enter
+        // the agent (register another VM, query ports) without deadlocking.
+        let hooks: Vec<_> = self.registration_hooks.lock().clone();
+        for hook in hooks {
+            hook();
         }
     }
 
@@ -318,7 +350,11 @@ impl ComputeAgent {
                     segment: segment.to_string(),
                 },
             )?;
-            pairs.get_mut(&key).expect("pair exists").mapped.insert(port);
+            pairs
+                .get_mut(&key)
+                .expect("pair exists")
+                .mapped
+                .insert(port);
         }
 
         // Phase 3: receiver first (so nothing sits unpolled), then sender.
@@ -402,9 +438,9 @@ impl ComputeAgent {
         let dst_vm = self.vm_for(dst_port)?;
         let key = pair_key(src_port, dst_port);
         let mut pairs = self.pairs.lock();
-        let state = pairs
-            .get_mut(&key)
-            .ok_or_else(|| AgentError::BadState(format!("no bypass between {src_port} and {dst_port}")))?;
+        let state = pairs.get_mut(&key).ok_or_else(|| {
+            AgentError::BadState(format!("no bypass between {src_port} and {dst_port}"))
+        })?;
         if !state.directions.remove(&(src_port, dst_port)) {
             return Err(AgentError::BadState(format!(
                 "direction {src_port}->{dst_port} not active"
@@ -651,11 +687,8 @@ mod tests {
                 stats.clone(),
             ));
         }
-        let agent = ComputeAgent::with_faults(
-            registry.clone(),
-            LatencyModel::zero(),
-            Arc::clone(&faults),
-        );
+        let agent =
+            ComputeAgent::with_faults(registry.clone(), LatencyModel::zero(), Arc::clone(&faults));
         for vm in &vms {
             agent.register_vm(Arc::clone(vm));
         }
@@ -693,7 +726,10 @@ mod tests {
         let err = w.agent.setup_bypass(2, 3, 1).unwrap_err();
         assert!(matches!(err, AgentError::Hypervisor(_)));
         assert_eq!(w.registry.live_of_kind(SegmentKind::Bypass).len(), 0);
-        assert!(w.vms[0].plugged_devices().is_empty(), "first plug rolled back");
+        assert!(
+            w.vms[0].plugged_devices().is_empty(),
+            "first plug rolled back"
+        );
         assert!(w.vms[1].plugged_devices().is_empty());
         w.agent.setup_bypass(2, 3, 1).unwrap();
     }
@@ -764,7 +800,12 @@ mod tests {
         let stats = StatsRegion::new();
         let (vm_end1, _s1) = channel("d1", 8);
         let (vm_end2, _s2) = channel("d2", 8);
-        let vm_a = Vm::launch("a", vec![(1, vm_end1)], Box::new(L2Forwarder::new()), stats.clone());
+        let vm_a = Vm::launch(
+            "a",
+            vec![(1, vm_end1)],
+            Box::new(L2Forwarder::new()),
+            stats.clone(),
+        );
         let vm_b = Vm::launch("b", vec![(2, vm_end2)], Box::new(L2Forwarder::new()), stats);
         let agent = ComputeAgent::new(registry, LatencyModel::paper());
         agent.register_vm(vm_a);

@@ -5,6 +5,7 @@
 //! applications, and issues the traffic-steering flow_mods. Chains — the
 //! evaluation workload — get a dedicated helper.
 
+use crate::agent::ComputeAgent;
 use crate::vm::Vm;
 use openflow::messages::FlowMod;
 use openflow::{Action, FlowMatch, PortNo};
@@ -149,6 +150,12 @@ pub struct Orchestrator {
     switch: Arc<VSwitchd>,
     registry: ShmRegistry,
     stats: StatsRegion,
+    /// When present, every VM is registered here at creation — *before*
+    /// any steering rule that mentions its ports is installed. Without
+    /// this ordering the highway manager races VM registration and logs
+    /// spurious `UnknownPort` setup failures for seams that are about to
+    /// become perfectly serviceable.
+    agent: Option<Arc<ComputeAgent>>,
     next_port: std::sync::atomic::AtomicU32,
     next_cookie: std::sync::atomic::AtomicU64,
 }
@@ -160,8 +167,24 @@ impl Orchestrator {
             switch,
             registry,
             stats,
+            agent: None,
             next_port: std::sync::atomic::AtomicU32::new(1),
             next_cookie: std::sync::atomic::AtomicU64::new(0x1000),
+        }
+    }
+
+    /// Like [`Orchestrator::new`], but VMs are registered with `agent` as
+    /// part of [`Orchestrator::create_vm`], so the port→VM mapping exists
+    /// before any deploy helper installs steering rules.
+    pub fn with_agent(
+        switch: Arc<VSwitchd>,
+        registry: ShmRegistry,
+        stats: StatsRegion,
+        agent: Arc<ComputeAgent>,
+    ) -> Orchestrator {
+        Orchestrator {
+            agent: Some(agent),
+            ..Orchestrator::new(switch, registry, stats)
         }
     }
 
@@ -190,7 +213,11 @@ impl Orchestrator {
             self.switch.add_dpdkr_port(PortNo(no as u16), &seg, sw_end);
             guest_ports.push((no, vm_end));
         }
-        Vm::launch(spec.name, guest_ports, spec.app.build(), self.stats.clone())
+        let vm = Vm::launch(spec.name, guest_ports, spec.app.build(), self.stats.clone());
+        if let Some(agent) = &self.agent {
+            agent.register_vm(Arc::clone(&vm));
+        }
+        vm
     }
 
     /// Installs the p-2-p steering rule `in_port=from → output:to` and
@@ -246,9 +273,7 @@ impl Orchestrator {
             let to = dep.resolve(edge.to);
             let cookie = match &edge.refine {
                 None => self.link_p2p(from, to),
-                Some((template, priority)) => {
-                    self.link_matching(from, to, *template, *priority)
-                }
+                Some((template, priority)) => self.link_matching(from, to, *template, *priority),
             };
             dep.cookies.push(cookie);
         }

@@ -265,7 +265,12 @@ mod tests {
     fn shutdown_is_idempotent() {
         let stats = StatsRegion::new();
         let (vm_end1, _sw1) = channel("dpdkr1", 8);
-        let vm = Vm::launch("vm3", vec![(1, vm_end1)], Box::new(L2Forwarder::new()), stats);
+        let vm = Vm::launch(
+            "vm3",
+            vec![(1, vm_end1)],
+            Box::new(L2Forwarder::new()),
+            stats,
+        );
         vm.shutdown();
         vm.shutdown();
     }

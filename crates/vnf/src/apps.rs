@@ -275,7 +275,7 @@ impl VnfApp for WebCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use packet_wire::{checksum, PacketBuilder, EthernetFrame, Ipv4Packet, MacAddr};
+    use packet_wire::{checksum, EthernetFrame, Ipv4Packet, MacAddr, PacketBuilder};
 
     fn probe(dst_port: u16) -> Mbuf {
         Mbuf::from_slice(&PacketBuilder::udp_probe(64).ports(1000, dst_port).build())
@@ -362,8 +362,14 @@ mod tests {
     #[test]
     fn webcache_hits_on_repeat_uri() {
         let mut cache = WebCache::new();
-        assert_eq!(cache.process(&mut http_get("/index.html"), 0), Verdict::Forward);
-        assert_eq!(cache.process(&mut http_get("/index.html"), 0), Verdict::Forward);
+        assert_eq!(
+            cache.process(&mut http_get("/index.html"), 0),
+            Verdict::Forward
+        );
+        assert_eq!(
+            cache.process(&mut http_get("/index.html"), 0),
+            Verdict::Forward
+        );
         assert_eq!(cache.process(&mut http_get("/other"), 0), Verdict::Forward);
         assert_eq!((cache.hits, cache.misses), (1, 2));
     }

@@ -100,10 +100,22 @@ mod tests {
                 rule_cookie: 7,
                 peer_port: 12,
             },
-            PmdCtrl::EnableRx { seq: 3, of_port: 12 },
-            PmdCtrl::DisableTx { seq: 4, of_port: 13 },
-            PmdCtrl::DisableRxDrain { seq: 5, of_port: 14 },
-            PmdCtrl::UnmapBypass { seq: 6, of_port: 15 },
+            PmdCtrl::EnableRx {
+                seq: 3,
+                of_port: 12,
+            },
+            PmdCtrl::DisableTx {
+                seq: 4,
+                of_port: 13,
+            },
+            PmdCtrl::DisableRxDrain {
+                seq: 5,
+                of_port: 14,
+            },
+            PmdCtrl::UnmapBypass {
+                seq: 6,
+                of_port: 15,
+            },
         ];
         for (i, m) in msgs.iter().enumerate() {
             assert_eq!(m.seq(), (i + 1) as u64);

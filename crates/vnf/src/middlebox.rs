@@ -138,7 +138,14 @@ impl VnfApp for Nat44 {
                     p
                 }
             };
-            if rewrite(pkt, &key, Some(self.public_ip), None, Some(translated), None) {
+            if rewrite(
+                pkt,
+                &key,
+                Some(self.public_ip),
+                None,
+                Some(translated),
+                None,
+            ) {
                 self.translated_out += 1;
                 Verdict::Forward
             } else {

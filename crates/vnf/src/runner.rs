@@ -101,9 +101,14 @@ impl VnfRunner {
                     None => false,
                 }
             }
-            (Some(idx), PmdCtrl::EnableTx { rule_cookie, peer_port, .. }) => {
-                self.ports[idx].enable_tx(rule_cookie, peer_port)
-            }
+            (
+                Some(idx),
+                PmdCtrl::EnableTx {
+                    rule_cookie,
+                    peer_port,
+                    ..
+                },
+            ) => self.ports[idx].enable_tx(rule_cookie, peer_port),
             (Some(idx), PmdCtrl::EnableRx { .. }) => self.ports[idx].enable_rx(),
             (Some(idx), PmdCtrl::DisableTx { .. }) => {
                 self.ports[idx].disable_tx();

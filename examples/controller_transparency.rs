@@ -10,8 +10,8 @@
 //! statistics, port statistics, and packet-out delivery.
 
 use std::time::{Duration, Instant};
-use vnf_highway::prelude::*;
 use vnf_highway::openflow::messages::{FlowStatsEntry, PortStatsEntry};
+use vnf_highway::prelude::*;
 use vnf_highway::shmem::SegmentKind;
 
 struct Observed {
@@ -28,25 +28,21 @@ fn run(highway: bool, n: u64) -> Observed {
         HighwayNodeConfig::vanilla()
     });
     let entry_no = node.orchestrator().alloc_port();
-    let (mut entry, sw_end) = node.registry().create_channel(
-        format!("dpdkr{entry_no}"),
-        SegmentKind::DpdkrNormal,
-        1024,
-    );
+    let (mut entry, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{entry_no}"), SegmentKind::DpdkrNormal, 1024);
     node.switch()
         .add_dpdkr_port(PortNo(entry_no as u16), "entry", sw_end);
     let exit_no = node.orchestrator().alloc_port();
-    let (mut exit, sw_end) = node.registry().create_channel(
-        format!("dpdkr{exit_no}"),
-        SegmentKind::DpdkrNormal,
-        1024,
-    );
+    let (mut exit, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{exit_no}"), SegmentKind::DpdkrNormal, 1024);
     node.switch()
         .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
 
-    let dep = node
-        .orchestrator()
-        .deploy_chain(2, entry_no, exit_no, |i| VnfSpec::forwarder(format!("vm{i}")));
+    let dep = node.orchestrator().deploy_chain(2, entry_no, exit_no, |i| {
+        VnfSpec::forwarder(format!("vm{i}"))
+    });
     for vm in &dep.vms {
         node.register_vm(vm.clone());
     }
@@ -124,7 +120,11 @@ fn main() {
             v.cookie,
             v.packet_count,
             h.packet_count,
-            if v.packet_count == h.packet_count { "==" } else { "!=" }
+            if v.packet_count == h.packet_count {
+                "=="
+            } else {
+                "!="
+            }
         );
         assert_eq!(v.cookie, h.cookie);
         assert_eq!(

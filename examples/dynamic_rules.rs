@@ -18,19 +18,15 @@ fn main() {
     let node = HighwayNode::new(HighwayNodeConfig::default());
 
     let entry_no = node.orchestrator().alloc_port();
-    let (mut entry, sw_end) = node.registry().create_channel(
-        format!("dpdkr{entry_no}"),
-        SegmentKind::DpdkrNormal,
-        1024,
-    );
+    let (mut entry, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{entry_no}"), SegmentKind::DpdkrNormal, 1024);
     node.switch()
         .add_dpdkr_port(PortNo(entry_no as u16), "entry", sw_end);
     let exit_no = node.orchestrator().alloc_port();
-    let (mut exit, sw_end) = node.registry().create_channel(
-        format!("dpdkr{exit_no}"),
-        SegmentKind::DpdkrNormal,
-        1024,
-    );
+    let (mut exit, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{exit_no}"), SegmentKind::DpdkrNormal, 1024);
     node.switch()
         .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
 
@@ -43,13 +39,9 @@ fn main() {
     let ctrl = node.connect_controller();
     let (a_in, a_out) = (vm_a.of_ports()[0], vm_a.of_ports()[1]);
     let (b_in, b_out) = (vm_b.of_ports()[0], vm_b.of_ports()[1]);
-    for (i, (from, to)) in [
-        (entry_no, a_in),
-        (a_out, b_in),
-        (b_out, exit_no),
-    ]
-    .iter()
-    .enumerate()
+    for (i, (from, to)) in [(entry_no, a_in), (a_out, b_in), (b_out, exit_no)]
+        .iter()
+        .enumerate()
     {
         ctrl.add_flow(
             FlowMatch::in_port(PortNo(*from as u16)),
@@ -61,7 +53,10 @@ fn main() {
     }
     ctrl.barrier(Duration::from_secs(2)).unwrap();
     assert!(node.wait_highway_converged(Duration::from_secs(10)));
-    println!("[1] p-2-p rules installed      → links: {:?}", node.active_links());
+    println!(
+        "[1] p-2-p rules installed      → links: {:?}",
+        node.active_links()
+    );
     assert_eq!(node.active_links(), vec![(a_out, b_in)]);
 
     let push_and_count = |entry: &mut vnf_highway::shmem::ChannelEnd,
@@ -104,7 +99,10 @@ fn main() {
         .unwrap();
     ctrl.barrier(Duration::from_secs(2)).unwrap();
     assert!(node.wait_highway_converged(Duration::from_secs(10)));
-    println!("[2] web rule added on same port → links: {:?}", node.active_links());
+    println!(
+        "[2] web rule added on same port → links: {:?}",
+        node.active_links()
+    );
     assert!(node.active_links().is_empty());
 
     assert_eq!(push_and_count(&mut entry, &mut exit, 200), 200);
@@ -114,7 +112,10 @@ fn main() {
     ctrl.del_flow_strict(web, 200).unwrap();
     ctrl.barrier(Duration::from_secs(2)).unwrap();
     assert!(node.wait_highway_converged(Duration::from_secs(10)));
-    println!("[3] web rule deleted            → links: {:?}", node.active_links());
+    println!(
+        "[3] web rule deleted            → links: {:?}",
+        node.active_links()
+    );
     assert_eq!(node.active_links(), vec![(a_out, b_in)]);
 
     assert_eq!(push_and_count(&mut entry, &mut exit, 200), 200);

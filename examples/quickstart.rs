@@ -21,19 +21,15 @@ fn main() {
 
     // Two edge dpdkr ports stand in for the traffic generator and sink.
     let entry_no = node.orchestrator().alloc_port();
-    let (mut entry, sw_end) = node.registry().create_channel(
-        format!("dpdkr{entry_no}"),
-        SegmentKind::DpdkrNormal,
-        1024,
-    );
+    let (mut entry, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{entry_no}"), SegmentKind::DpdkrNormal, 1024);
     node.switch()
         .add_dpdkr_port(PortNo(entry_no as u16), "entry", sw_end);
     let exit_no = node.orchestrator().alloc_port();
-    let (mut exit, sw_end) = node.registry().create_channel(
-        format!("dpdkr{exit_no}"),
-        SegmentKind::DpdkrNormal,
-        1024,
-    );
+    let (mut exit, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{exit_no}"), SegmentKind::DpdkrNormal, 1024);
     node.switch()
         .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
 
@@ -97,7 +93,10 @@ fn main() {
     // Transparency: the controller's flow statistics count the bypassed
     // packets even though the switch never forwarded them.
     let stats = ctrl.flow_stats(Duration::from_secs(2)).expect("stats");
-    let middle = stats.iter().find(|e| e.cookie == 0x101).expect("middle rule");
+    let middle = stats
+        .iter()
+        .find(|e| e.cookie == 0x101)
+        .expect("middle rule");
     println!(
         "middle (bypassed) rule counters: {} packets / {} bytes",
         middle.packet_count, middle.byte_count

@@ -16,37 +16,35 @@ fn main() {
 
     // Edge ports.
     let entry_no = node.orchestrator().alloc_port();
-    let (mut entry, sw_end) = node.registry().create_channel(
-        format!("dpdkr{entry_no}"),
-        SegmentKind::DpdkrNormal,
-        1024,
-    );
+    let (mut entry, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{entry_no}"), SegmentKind::DpdkrNormal, 1024);
     node.switch()
         .add_dpdkr_port(PortNo(entry_no as u16), "entry", sw_end);
     let exit_no = node.orchestrator().alloc_port();
-    let (mut exit, sw_end) = node.registry().create_channel(
-        format!("dpdkr{exit_no}"),
-        SegmentKind::DpdkrNormal,
-        1024,
-    );
+    let (mut exit, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{exit_no}"), SegmentKind::DpdkrNormal, 1024);
     node.switch()
         .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
 
     // The three VNFs of Figure 1. The firewall blocks telnet (port 23).
-    let dep = node.orchestrator().deploy_chain(3, entry_no, exit_no, |i| match i {
-        0 => VnfSpec {
-            name: "firewall".into(),
-            app: AppKind::Firewall(vec![FirewallRule::deny_dst_port(23)]),
-        },
-        1 => VnfSpec {
-            name: "monitor".into(),
-            app: AppKind::Monitor,
-        },
-        _ => VnfSpec {
-            name: "webcache".into(),
-            app: AppKind::WebCache,
-        },
-    });
+    let dep = node
+        .orchestrator()
+        .deploy_chain(3, entry_no, exit_no, |i| match i {
+            0 => VnfSpec {
+                name: "firewall".into(),
+                app: AppKind::Firewall(vec![FirewallRule::deny_dst_port(23)]),
+            },
+            1 => VnfSpec {
+                name: "monitor".into(),
+                app: AppKind::Monitor,
+            },
+            _ => VnfSpec {
+                name: "webcache".into(),
+                app: AppKind::WebCache,
+            },
+        });
     for vm in &dep.vms {
         node.register_vm(vm.clone());
     }
@@ -62,9 +60,9 @@ fn main() {
     let mut sent_blocked = 0u64;
     for i in 0..600u64 {
         let dst_port = match i % 3 {
-            0 => 80,   // web
-            1 => 53,   // dns
-            _ => 23,   // telnet — firewalled
+            0 => 80, // web
+            1 => 53, // dns
+            _ => 23, // telnet — firewalled
         };
         if dst_port == 23 {
             sent_blocked += 1;
@@ -104,7 +102,10 @@ fn main() {
 
     // Guest counters show each VNF did its job.
     let fw = &dep.vms[0];
-    let dropped = fw.counters().dropped.load(std::sync::atomic::Ordering::Relaxed);
+    let dropped = fw
+        .counters()
+        .dropped
+        .load(std::sync::atomic::Ordering::Relaxed);
     println!("firewall dropped: {dropped}");
     assert_eq!(dropped, sent_blocked);
 

@@ -32,19 +32,15 @@ fn main() {
         ..HighwayNodeConfig::default()
     });
     let entry_no = node.orchestrator().alloc_port();
-    let (mut entry, sw_end) = node.registry().create_channel(
-        format!("dpdkr{entry_no}"),
-        SegmentKind::DpdkrNormal,
-        2048,
-    );
+    let (mut entry, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{entry_no}"), SegmentKind::DpdkrNormal, 2048);
     node.switch()
         .add_dpdkr_port(PortNo(entry_no as u16), "entry", sw_end);
     let exit_no = node.orchestrator().alloc_port();
-    let (mut exit, sw_end) = node.registry().create_channel(
-        format!("dpdkr{exit_no}"),
-        SegmentKind::DpdkrNormal,
-        2048,
-    );
+    let (mut exit, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{exit_no}"), SegmentKind::DpdkrNormal, 2048);
     node.switch()
         .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
 

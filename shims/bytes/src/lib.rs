@@ -1,0 +1,151 @@
+//! Minimal `bytes` API shim: the `Buf`/`BufMut` trait subset the OpenFlow
+//! codec uses, implemented for `&[u8]` and `Vec<u8>`.
+//!
+//! The build image has no access to a cargo registry, so the workspace
+//! vendors the external APIs it uses as tiny shims. Multi-byte accessors
+//! are big-endian, matching the real crate's defaults (and OpenFlow's
+//! network byte order). Reads past the end panic, like the real crate —
+//! callers must check [`Buf::remaining`] first.
+//!
+//! Swap `shims/bytes` for the real crates.io `bytes` in
+//! `[workspace.dependencies]` once the registry is reachable.
+
+/// Read access to a contiguous byte cursor (big-endian accessors).
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes as a slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Move the cursor forward `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+/// Append access to a growable byte buffer (big-endian accessors).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(0x01);
+        out.put_u16(0x0203);
+        out.put_u32(0x0405_0607);
+        out.put_u64(0x0809_0a0b_0c0d_0e0f);
+        out.put_slice(b"xy");
+        assert_eq!(out.len(), 17);
+        assert_eq!(out[1..3], [0x02, 0x03]);
+
+        let mut cur: &[u8] = &out;
+        assert_eq!(cur.get_u8(), 0x01);
+        assert_eq!(cur.get_u16(), 0x0203);
+        assert_eq!(cur.get_u32(), 0x0405_0607);
+        assert_eq!(cur.get_u64(), 0x0809_0a0b_0c0d_0e0f);
+        let mut tail = [0u8; 2];
+        cur.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xy");
+        assert_eq!(cur.remaining(), 0);
+    }
+}

@@ -1,0 +1,634 @@
+//! Minimal `proptest` API shim: random-input property testing without
+//! shrinking.
+//!
+//! The build image has no access to a cargo registry, so the workspace
+//! vendors the external APIs it uses as tiny shims. This one implements
+//! the subset of proptest the test-suite touches:
+//!
+//! * [`strategy::Strategy`] with `prop_map`/`boxed`, implemented for
+//!   integer/float ranges, tuples (arity 2–10), and `&str` character-class
+//!   patterns like `"[a-z0-9]{0,15}"`;
+//! * [`collection`]`::{vec, btree_set}`, [`option`]`::of`,
+//!   `bool::ANY`, `num::{u32, u64}::ANY`, [`strategy::Just`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros and [`test_runner::ProptestConfig`].
+//!
+//! Each test runs `cases` iterations over a deterministic per-test RNG
+//! (seeded from the test name), so failures reproduce across runs. There
+//! is **no shrinking**: a failing case panics with the case number rather
+//! than a minimised input. Swap `shims/proptest` for the real crates.io
+//! `proptest` in `[workspace.dependencies]` once the registry is
+//! reachable.
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is meaningful in the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Deterministic xorshift64* generator; one per test, seeded from the
+    /// test's name so runs are reproducible.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self(h | 1)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift bounded sampling; bias is negligible for the
+            // small bounds used in tests.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of one type.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking:
+    /// `generate` yields one concrete value per call.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { strategy: self, f }
+        }
+
+        /// Type-erase for use in heterogeneous collections
+        /// (e.g. [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.strategy.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies; backs [`prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full u64 domain.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (self.end - self.start) * rng.unit_f64() as f32
+        }
+    }
+
+    /// `&str` as a strategy: generates strings matching a character-class
+    /// pattern of the form `[chars]{m,n}` (e.g. `"[a-z0-9]{0,15}"`), the
+    /// only regex shape the test-suite uses. A bare class means one char.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, min, max) = parse_class_pattern(self).unwrap_or_else(|| {
+                panic!("string strategy {self:?}: only `[class]{{m,n}}` patterns are supported")
+            });
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                for c in lo..=hi {
+                    alphabet.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        let tail = &rest[close + 1..];
+        if tail.is_empty() {
+            return Some((alphabet, 1, 1));
+        }
+        let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+        let (m, n) = match counts.split_once(',') {
+            Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+            None => {
+                let k = counts.trim().parse().ok()?;
+                (k, k)
+            }
+        };
+        (m <= n).then_some((alphabet, m, n))
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy, via [`any`].
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy for the full domain of an [`Arbitrary`] type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()`: the canonical whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.bool()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Printable ASCII keeps generated chars meaningful for tests.
+            char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or('a')
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: a vector of `size.start..size.end`
+    /// elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with between `size.start` and `size.end - 1`
+    /// distinct elements (duplicates are simply dropped, like proptest).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut set = BTreeSet::new();
+            // The element domain may be smaller than `target`; bail after a
+            // bounded number of attempts rather than spinning.
+            for _ in 0..target * 4 + 8 {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `None` about a quarter of the time.
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// `proptest::bool::ANY`: uniform true/false.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+}
+
+pub mod num {
+    macro_rules! num_any_mod {
+        ($($m:ident => $t:ty),+) => {$(
+            pub mod $m {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// The strategy type behind [`ANY`].
+                #[derive(Debug, Clone, Copy)]
+                pub struct NumAny;
+
+                /// The whole domain of the primitive, uniformly.
+                pub const ANY: NumAny = NumAny;
+
+                impl Strategy for NumAny {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )+};
+    }
+
+    num_any_mod!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, i32 => i32, i64 => i64);
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` generated
+/// inputs. Panics (e.g. from `prop_assert!`) report the failing case
+/// number; there is no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest shim: {} failed at case {}/{} (deterministic seed; \
+                         rerun reproduces it)",
+                        stringify!($name),
+                        case + 1,
+                        config.cases
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// Choose uniformly among the listed strategies (all must yield the same
+/// type). Weighted arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a property; panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u16..9, y in 1.5f64..2.5, b in crate::bool::ANY) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1.5..2.5).contains(&y));
+            let _ = b;
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(0u8..4, 0..6),
+            o in crate::option::of(0u32..2),
+            s in "[a-f]{2,4}",
+            pick in prop_oneof![Just(1u8), 5u8..7],
+        ) {
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 4));
+            if let Some(x) = o {
+                prop_assert!(x < 2);
+            }
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='f').contains(&c)));
+            prop_assert!(pick == 1 || pick == 5 || pick == 6);
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u8..4, 0u8..4).prop_map(|(a, b)| (b, a))) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+    }
+
+    #[test]
+    fn string_pattern_parses_exact_count() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::from_name("exact");
+        let s = "[xy]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.chars().all(|c| c == 'x' || c == 'y'));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::from_name("t");
+        let mut b = crate::test_runner::TestRng::from_name("t");
+        for _ in 0..100 {
+            assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+        }
+    }
+}

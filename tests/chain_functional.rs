@@ -22,19 +22,15 @@ fn deploy(n_vms: usize, highway: bool) -> World {
         HighwayNodeConfig::vanilla()
     });
     let entry_no = node.orchestrator().alloc_port();
-    let (entry, sw_end) = node.registry().create_channel(
-        format!("dpdkr{entry_no}"),
-        SegmentKind::DpdkrNormal,
-        2048,
-    );
+    let (entry, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{entry_no}"), SegmentKind::DpdkrNormal, 2048);
     node.switch()
         .add_dpdkr_port(PortNo(entry_no as u16), "entry", sw_end);
     let exit_no = node.orchestrator().alloc_port();
-    let (exit, sw_end) = node.registry().create_channel(
-        format!("dpdkr{exit_no}"),
-        SegmentKind::DpdkrNormal,
-        2048,
-    );
+    let (exit, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{exit_no}"), SegmentKind::DpdkrNormal, 2048);
     node.switch()
         .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
     let dep = node
@@ -93,7 +89,11 @@ fn run_chain(n_vms: usize, highway: bool) {
     let mut w = deploy(n_vms, highway);
     push(&mut w.entry, N, 0);
     let seqs = collect(&mut w.exit, N, Duration::from_secs(20));
-    assert_eq!(seqs.len() as u64, N, "no loss (n={n_vms}, highway={highway})");
+    assert_eq!(
+        seqs.len() as u64,
+        N,
+        "no loss (n={n_vms}, highway={highway})"
+    );
     let unique: HashSet<_> = seqs.iter().collect();
     assert_eq!(unique.len() as u64, N, "no duplication");
     let mut sorted = seqs.clone();
@@ -171,10 +171,7 @@ fn bidirectional_traffic_both_modes() {
 fn highway_bypass_segments_match_inner_seams() {
     let w = deploy(4, true);
     // 3 inner seams, one shared segment each (both directions).
-    assert_eq!(
-        w.node.registry().live_of_kind(SegmentKind::Bypass).len(),
-        3
-    );
+    assert_eq!(w.node.registry().live_of_kind(SegmentKind::Bypass).len(), 3);
     assert_eq!(w.node.active_links().len(), 6); // 3 seams × 2 directions
     w.node.stop();
     for vm in &w.dep.vms {

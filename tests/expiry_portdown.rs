@@ -22,24 +22,20 @@ struct World {
 fn deploy() -> World {
     let node = HighwayNode::new(HighwayNodeConfig::default());
     let entry_no = node.orchestrator().alloc_port();
-    let (entry, sw_end) = node.registry().create_channel(
-        format!("dpdkr{entry_no}"),
-        SegmentKind::DpdkrNormal,
-        2048,
-    );
+    let (entry, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{entry_no}"), SegmentKind::DpdkrNormal, 2048);
     node.switch()
         .add_dpdkr_port(PortNo(entry_no as u16), "entry", sw_end);
     let exit_no = node.orchestrator().alloc_port();
-    let (exit, sw_end) = node.registry().create_channel(
-        format!("dpdkr{exit_no}"),
-        SegmentKind::DpdkrNormal,
-        2048,
-    );
+    let (exit, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{exit_no}"), SegmentKind::DpdkrNormal, 2048);
     node.switch()
         .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
-    let dep = node
-        .orchestrator()
-        .deploy_chain(2, entry_no, exit_no, |i| VnfSpec::forwarder(format!("vm{i}")));
+    let dep = node.orchestrator().deploy_chain(2, entry_no, exit_no, |i| {
+        VnfSpec::forwarder(format!("vm{i}"))
+    });
     for vm in &dep.vms {
         node.register_vm(vm.clone());
     }
@@ -85,10 +81,7 @@ fn send_and_expect(w: &mut World, seq: u64, expect_delivery: bool) -> bool {
 fn hard_timeout_expiry_tears_down_the_bypass() {
     let mut w = deploy();
     let (mid_src, mid_dst) = (w.dep.vm_ports[0].1, w.dep.vm_ports[1].0);
-    assert!(w
-        .node
-        .active_links()
-        .contains(&(mid_src, mid_dst)));
+    assert!(w.node.active_links().contains(&(mid_src, mid_dst)));
 
     // Replace the middle forward rule with one that expires in 2 s. (The
     // replace itself churns the bypass; wait for re-convergence.)
@@ -115,11 +108,12 @@ fn hard_timeout_expiry_tears_down_the_bypass() {
         !w.node.active_links().contains(&(mid_src, mid_dst)),
         "bypass must die with its rule"
     );
-    assert!(w
-        .node
-        .journal()
-        .unwrap()
-        .wait_for(BypassEventKind::Removed, mid_src, mid_dst, Duration::from_secs(10)));
+    assert!(w.node.journal().unwrap().wait_for(
+        BypassEventKind::Removed,
+        mid_src,
+        mid_dst,
+        Duration::from_secs(10)
+    ));
 
     // The FlowRemoved for the expired rule reached the controller with
     // the bypassed packet counted.
@@ -127,9 +121,7 @@ fn hard_timeout_expiry_tears_down_the_bypass() {
     let mut removed = None;
     while removed.is_none() && Instant::now() < deadline {
         match w.ctrl.try_recv() {
-            Some(Ok((OfpMessage::FlowRemoved(fr), _))) if fr.cookie == 0xdead => {
-                removed = Some(fr)
-            }
+            Some(Ok((OfpMessage::FlowRemoved(fr), _))) if fr.cookie == 0xdead => removed = Some(fr),
             Some(_) => {}
             None => std::thread::yield_now(),
         }
@@ -201,20 +193,18 @@ fn port_down_reverts_to_normal_path_and_up_restores() {
     let mut w = deploy();
     let (_mid_src, mid_dst) = (w.dep.vm_ports[0].1, w.dep.vm_ports[1].0);
     assert_eq!(w.node.active_links().len(), 2, "both middle directions");
-    assert_eq!(
-        w.node.registry().live_of_kind(SegmentKind::Bypass).len(),
-        1
-    );
+    assert_eq!(w.node.registry().live_of_kind(SegmentKind::Bypass).len(), 1);
 
     // The controller disables the second VM's ingress port. Both bypass
     // directions touch it, so both must be dismantled — even though every
     // steering rule is still installed.
-    w.ctrl
-        .set_port_down(PortNo(mid_dst as u16), true)
-        .unwrap();
+    w.ctrl.set_port_down(PortNo(mid_dst as u16), true).unwrap();
     w.ctrl.barrier(Duration::from_secs(3)).unwrap();
     assert!(w.node.wait_highway_converged(Duration::from_secs(15)));
-    assert!(w.node.active_links().is_empty(), "links vetoed by port state");
+    assert!(
+        w.node.active_links().is_empty(),
+        "links vetoed by port state"
+    );
     assert_eq!(
         w.node.registry().live_of_kind(SegmentKind::Bypass).len(),
         0,
@@ -251,9 +241,7 @@ fn port_down_reverts_to_normal_path_and_up_restores() {
 
     // Port back up: the link is re-detected from the cached flow table
     // (no flow_mod needed) and traffic resumes end to end.
-    w.ctrl
-        .set_port_down(PortNo(mid_dst as u16), false)
-        .unwrap();
+    w.ctrl.set_port_down(PortNo(mid_dst as u16), false).unwrap();
     w.ctrl.barrier(Duration::from_secs(3)).unwrap();
     assert!(w.node.wait_highway_converged(Duration::from_secs(15)));
     assert_eq!(w.node.active_links().len(), 2);

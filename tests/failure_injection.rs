@@ -30,35 +30,33 @@ struct World {
 fn deploy_without_middle_rules() -> World {
     let node = HighwayNode::new(HighwayNodeConfig::default());
     let entry_no = node.orchestrator().alloc_port();
-    let (entry, sw_end) = node.registry().create_channel(
-        format!("dpdkr{entry_no}"),
-        SegmentKind::DpdkrNormal,
-        2048,
-    );
+    let (entry, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{entry_no}"), SegmentKind::DpdkrNormal, 2048);
     node.switch()
         .add_dpdkr_port(PortNo(entry_no as u16), "entry", sw_end);
     let exit_no = node.orchestrator().alloc_port();
-    let (exit, sw_end) = node.registry().create_channel(
-        format!("dpdkr{exit_no}"),
-        SegmentKind::DpdkrNormal,
-        2048,
-    );
+    let (exit, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{exit_no}"), SegmentKind::DpdkrNormal, 2048);
     node.switch()
         .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
-    let dep = node
-        .orchestrator()
-        .deploy_chain(2, entry_no, exit_no, |i| VnfSpec::forwarder(format!("vm{i}")));
+    let dep = node.orchestrator().deploy_chain(2, entry_no, exit_no, |i| {
+        VnfSpec::forwarder(format!("vm{i}"))
+    });
     for vm in &dep.vms {
         node.register_vm(vm.clone());
     }
     let mid = (dep.vm_ports[0].1, dep.vm_ports[1].0);
     // Remove the middle-seam rules deploy_chain installed (both ways).
-    node.switch().inject_flow_mod(
-        &vnf_highway::openflow::FlowMod::delete(FlowMatch::in_port(PortNo(mid.0 as u16))),
-    );
-    node.switch().inject_flow_mod(
-        &vnf_highway::openflow::FlowMod::delete(FlowMatch::in_port(PortNo(mid.1 as u16))),
-    );
+    node.switch()
+        .inject_flow_mod(&vnf_highway::openflow::FlowMod::delete(FlowMatch::in_port(
+            PortNo(mid.0 as u16),
+        )));
+    node.switch()
+        .inject_flow_mod(&vnf_highway::openflow::FlowMod::delete(FlowMatch::in_port(
+            PortNo(mid.1 as u16),
+        )));
     node.start();
     let ctrl = node.connect_controller();
     assert!(node.wait_highway_converged(Duration::from_secs(15)));
@@ -122,7 +120,12 @@ fn failed_setup_leaves_data_path_intact_and_recovers() {
     install_middle_rule(&w, 0xf001);
 
     assert!(
-        journal.wait_for(BypassEventKind::SetupFailed, w.mid.0, w.mid.1, Duration::from_secs(10)),
+        journal.wait_for(
+            BypassEventKind::SetupFailed,
+            w.mid.0,
+            w.mid.1,
+            Duration::from_secs(10)
+        ),
         "setup failure recorded"
     );
     assert!(w.node.active_links().is_empty());
@@ -135,7 +138,10 @@ fn failed_setup_leaves_data_path_intact_and_recovers() {
 
     // The property that matters to tenants: traffic flows regardless,
     // through the normal path.
-    assert!(traffic_flows(&mut w, 1), "switch path unaffected by the failure");
+    assert!(
+        traffic_flows(&mut w, 1),
+        "switch path unaffected by the failure"
+    );
 
     // Recovery: the next table change re-arms the desire; no faults now.
     remove_middle_rule(&w);

@@ -33,15 +33,15 @@ fn deploy_figure1(highway: bool) -> World {
     });
     let entry_no = node.orchestrator().alloc_port();
     assert_eq!(entry_no, 1);
-    let (entry, sw_end) =
-        node.registry()
-            .create_channel("dpdkr1", SegmentKind::DpdkrNormal, 2048);
+    let (entry, sw_end) = node
+        .registry()
+        .create_channel("dpdkr1", SegmentKind::DpdkrNormal, 2048);
     node.switch().add_dpdkr_port(PortNo(1), "entry", sw_end);
     let exit_no = node.orchestrator().alloc_port();
     assert_eq!(exit_no, 2);
-    let (exit, sw_end) =
-        node.registry()
-            .create_channel("dpdkr2", SegmentKind::DpdkrNormal, 2048);
+    let (exit, sw_end) = node
+        .registry()
+        .create_channel("dpdkr2", SegmentKind::DpdkrNormal, 2048);
     node.switch().add_dpdkr_port(PortNo(2), "exit", sw_end);
 
     let mut web = FlowMatch::any();
@@ -104,11 +104,7 @@ fn deploy_figure1(highway: bool) -> World {
 }
 
 fn push_and_pull(w: &mut World, dst_port: u16, expect: bool) -> bool {
-    let m = Mbuf::from_slice(
-        &PacketBuilder::udp_probe(64)
-            .ports(40_000, dst_port)
-            .build(),
-    );
+    let m = Mbuf::from_slice(&PacketBuilder::udp_probe(64).ports(40_000, dst_port).build());
     w.entry.send(m).unwrap();
     let deadline = Instant::now()
         + if expect {
@@ -192,8 +188,8 @@ fn split_behaviour_is_mode_invariant() {
 #[test]
 fn icmp_reply_rides_the_reverse_bypass() {
     use vnf_highway::packet::{
-        EtherType, EthernetFrame, IcmpPacket, IcmpType, Ipv4Packet, MacAddr,
-        ETHERNET_HEADER_LEN, ICMP_HEADER_LEN, IPV4_HEADER_LEN,
+        EtherType, EthernetFrame, IcmpPacket, IcmpType, Ipv4Packet, MacAddr, ETHERNET_HEADER_LEN,
+        ICMP_HEADER_LEN, IPV4_HEADER_LEN,
     };
     use vnf_highway::vnf::IcmpResponder;
 
@@ -242,7 +238,11 @@ fn icmp_reply_rides_the_reverse_bypass() {
     }
     node.start();
     assert!(node.wait_highway_converged(Duration::from_secs(15)));
-    assert_eq!(node.active_links().len(), 2, "middle seam bypassed both ways");
+    assert_eq!(
+        node.active_links().len(),
+        2,
+        "middle seam bypassed both ways"
+    );
 
     // Build an echo request to the responder's address.
     let payload = b"hello?";

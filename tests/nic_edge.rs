@@ -32,9 +32,9 @@ fn deploy(n_vms: usize, highway: bool) -> World {
     node.switch()
         .add_device_port(PortNo(out_no as u16), "nic-out", nic_out.clone());
 
-    let dep = node
-        .orchestrator()
-        .deploy_chain(n_vms, in_no, out_no, |i| VnfSpec::forwarder(format!("vm{i}")));
+    let dep = node.orchestrator().deploy_chain(n_vms, in_no, out_no, |i| {
+        VnfSpec::forwarder(format!("vm{i}"))
+    });
     for vm in &dep.vms {
         node.register_vm(vm.clone());
     }

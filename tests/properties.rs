@@ -2,6 +2,8 @@
 
 use proptest::prelude::*;
 use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
 use vnf_highway::dpdk::spsc_ring;
 use vnf_highway::highway::detect_p2p_links;
 use vnf_highway::openflow::codec::{decode, encode};
@@ -11,8 +13,6 @@ use vnf_highway::ovs::table::RuleEntry;
 use vnf_highway::ovs::RuleSnapshot;
 use vnf_highway::packet::{FlowKey, MacAddr, PacketBuilder};
 use vnf_highway::prelude::{Action, FlowMatch, PortNo};
-use std::net::Ipv4Addr;
-use std::sync::Arc;
 
 // ---------- strategies ----------
 

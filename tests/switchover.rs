@@ -20,25 +20,21 @@ struct World {
 fn deploy() -> World {
     let node = HighwayNode::new(HighwayNodeConfig::default());
     let entry_no = node.orchestrator().alloc_port();
-    let (entry, sw_end) = node.registry().create_channel(
-        format!("dpdkr{entry_no}"),
-        SegmentKind::DpdkrNormal,
-        4096,
-    );
+    let (entry, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{entry_no}"), SegmentKind::DpdkrNormal, 4096);
     node.switch()
         .add_dpdkr_port(PortNo(entry_no as u16), "entry", sw_end);
     let exit_no = node.orchestrator().alloc_port();
-    let (exit, sw_end) = node.registry().create_channel(
-        format!("dpdkr{exit_no}"),
-        SegmentKind::DpdkrNormal,
-        4096,
-    );
+    let (exit, sw_end) =
+        node.registry()
+            .create_channel(format!("dpdkr{exit_no}"), SegmentKind::DpdkrNormal, 4096);
     node.switch()
         .add_dpdkr_port(PortNo(exit_no as u16), "exit", sw_end);
 
-    let dep = node
-        .orchestrator()
-        .deploy_chain(2, entry_no, exit_no, |i| VnfSpec::forwarder(format!("vm{i}")));
+    let dep = node.orchestrator().deploy_chain(2, entry_no, exit_no, |i| {
+        VnfSpec::forwarder(format!("vm{i}"))
+    });
     for vm in &dep.vms {
         node.register_vm(vm.clone());
     }
