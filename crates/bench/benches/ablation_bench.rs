@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dpdk_sim::{spsc_ring, Mbuf};
 use openflow::{Action, FlowMatch, PortNo};
 use ovs_dp::emc::Emc;
-use ovs_dp::pmd::Datapath;
+use ovs_dp::pmd::{Datapath, PmdCaches};
 use ovs_dp::port::OvsPort;
 use ovs_dp::table::FlowTable;
 use packet_wire::{FlowKey, PacketBuilder};
@@ -78,7 +78,7 @@ fn bench_switch_crossing(c: &mut Criterion) {
     g.bench_function("with_emc", |b| {
         let (dp, mut vm1, mut vm2) = build_dp();
         let snapshot: Vec<Arc<OvsPort>> = dp.ports.read().values().cloned().collect();
-        let mut emc = Emc::new(8192);
+        let mut caches = PmdCaches::new();
         let frame = PacketBuilder::udp_probe(64).build();
         let mut staged = BTreeMap::new();
         b.iter(|| {
@@ -86,7 +86,7 @@ fn bench_switch_crossing(c: &mut Criterion) {
             let mut rx = Vec::with_capacity(1);
             snapshot[0].rx_burst(&mut rx, 1);
             for pkt in rx {
-                dp.process_packet(pkt, PortNo(1), Some(&mut emc), &mut staged, &snapshot, 0);
+                dp.process_packet(pkt, PortNo(1), Some(&mut caches), &mut staged, &snapshot, 0);
             }
             dp.flush_staged(&mut staged);
             black_box(vm2.recv());
@@ -197,9 +197,31 @@ fn bench_detector_worst_case(c: &mut Criterion) {
     g.finish();
 }
 
+/// A9: the cache-tier ablation — classification cost of the real datapath
+/// under classifier-only / EMC-only / EMC+megaflow over a Zipf-skewed flow
+/// mix (see `highway_bench::cache_tiers`). The `cache_tiers` binary runs
+/// the same harness in quick mode with a hard assertion; this group gives
+/// the calibrated numbers.
+fn bench_cache_tiers(c: &mut Criterion) {
+    use highway_bench::cache_tiers::{build, run_pass, TierConfig};
+
+    let mut g = c.benchmark_group("A9-cache-tiers");
+    let world = build(4096);
+    g.throughput(Throughput::Elements(world.keys.len() as u64));
+    for cfg in TierConfig::ALL {
+        g.bench_function(cfg.label(), |b| {
+            let mut caches = cfg.caches();
+            // Warm: the steady state is what the tier comparison is about.
+            run_pass(&world.dp, &world.keys, &mut caches);
+            b.iter(|| black_box(run_pass(&world.dp, &world.keys, &mut caches)));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     name = ablation;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(400)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_ring_depth, bench_burst_amortisation, bench_switch_crossing, bench_detector_worst_case
+    targets = bench_ring_depth, bench_burst_amortisation, bench_switch_crossing, bench_detector_worst_case, bench_cache_tiers
 );
 criterion_main!(ablation);

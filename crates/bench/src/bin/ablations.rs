@@ -7,8 +7,8 @@
 
 use highway_bench::format_sweep;
 use simnet::{
-    cores_for_parity, crossover_point, emc_sweep, frame_size_sweep, pmd_core_scaling,
-    vnf_cost_crossover, CostModel,
+    cores_for_parity, crossover_point, emc_sweep, frame_size_sweep, megaflow_sweep,
+    pmd_core_scaling, vnf_cost_crossover, CostModel,
 };
 
 fn main() {
@@ -43,6 +43,21 @@ fn main() {
         "shape check: gap grows from {:.1}x (EMC perfect) to {:.1}x (EMC useless)\n",
         rows[0].speedup(),
         rows.last().unwrap().speedup()
+    );
+
+    let rows = megaflow_sweep(N, &cost);
+    println!(
+        "{}",
+        format_sweep(
+            &format!("A2b — megaflow hit-rate sweep at EMC 0, memory-only chain of {N} [model]"),
+            "megaflow hit rate",
+            &rows
+        )
+    );
+    println!(
+        "shape check: the megaflow tier recovers vanilla from {:.2} to {:.2} Mpps\n",
+        rows[0].traditional,
+        rows.last().unwrap().traditional
     );
 
     let rows = vnf_cost_crossover(N, &cost);

@@ -1,0 +1,72 @@
+//! Cache-tier ablation with a hard acceptance assertion.
+//!
+//! Measures the real datapath's classification cost under the three cache
+//! configurations (classifier-only, EMC-only, EMC+megaflow) over a
+//! Zipf-skewed flow mix, prints the comparison, and **exits non-zero** if
+//! EMC+megaflow is not strictly cheaper than classifier-only — so a
+//! regression on the megaflow fast path fails CI loudly instead of
+//! silently shifting a Criterion number nobody reads.
+//!
+//! `--quick` bounds the iteration count for CI; the default run uses more
+//! passes for stabler numbers.
+
+use highway_bench::cache_tiers::{build, run_pass, TierConfig};
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (samples, passes) = if quick { (2048, 20) } else { (4096, 200) };
+    let world = build(samples);
+
+    println!(
+        "## A9 — cache-tier ablation [measured, {} Zipf samples x {passes} passes{}]\n",
+        world.keys.len(),
+        if quick { ", quick" } else { "" },
+    );
+    println!("| configuration | ns/lookup | emc | megaflow | classifier |");
+    println!("|---|---|---|---|---|");
+
+    let mut ns_per_lookup = Vec::new();
+    for cfg in TierConfig::ALL {
+        let mut caches = cfg.caches();
+        // Warm pass: the comparison is about the steady state.
+        let counts = run_pass(&world.dp, &world.keys, &mut caches);
+        assert_eq!(
+            counts.miss,
+            0,
+            "{}: lookups missed — the ablation table is broken",
+            cfg.label()
+        );
+        let start = Instant::now();
+        let mut steady = counts;
+        for _ in 0..passes {
+            steady = run_pass(&world.dp, &world.keys, &mut caches);
+        }
+        let elapsed = start.elapsed();
+        let ns = elapsed.as_nanos() as f64 / (passes * world.keys.len()) as f64;
+        ns_per_lookup.push(ns);
+        println!(
+            "| {} | {ns:.1} | {} | {} | {} |",
+            cfg.label(),
+            steady.emc,
+            steady.megaflow,
+            steady.classifier,
+        );
+    }
+
+    let classifier_only = ns_per_lookup[0];
+    let emc_megaflow = ns_per_lookup[2];
+    println!(
+        "\nEMC+megaflow vs classifier-only: {:.2}x cheaper",
+        classifier_only / emc_megaflow
+    );
+    // The acceptance criterion, with margin against timer noise: the full
+    // hierarchy must be strictly — not marginally — cheaper than walking
+    // the classifier for every packet.
+    assert!(
+        emc_megaflow < 0.8 * classifier_only,
+        "megaflow tier regression: EMC+megaflow {emc_megaflow:.1} ns/lookup is not strictly \
+         cheaper than classifier-only {classifier_only:.1} ns/lookup"
+    );
+    println!("cache-tier ablation OK");
+}

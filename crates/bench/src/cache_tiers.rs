@@ -1,0 +1,243 @@
+//! The cache-tier ablation harness (A9): measures the real datapath's
+//! classification cost under the three cache configurations —
+//! classifier-only, EMC-only, and EMC+megaflow — over a Zipf-skewed flow
+//! mix, the traffic shape real service edges see (a few elephant flows, a
+//! long mouse tail that thrashes any exact-match cache).
+//!
+//! Shared between the Criterion bench (`benches/ablation_bench.rs`, group
+//! `A9-cache-tiers`) and the asserting `cache_tiers` binary CI runs in
+//! quick mode: the binary fails loudly if EMC+megaflow is not strictly
+//! cheaper than classifier-only, pinning the acceptance criterion of the
+//! megaflow tier as a perf regression guard.
+
+use openflow::{Action, FlowMatch, FlowMod, PortNo};
+use ovs_dp::pmd::{Datapath, PmdCaches};
+use packet_wire::{FlowKey, PacketBuilder};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Distinct flows in the mix (far beyond the ablation's EMC capacity).
+pub const FLOWS: usize = 4096;
+/// Decoy subtables the classifier must walk past on every cold lookup.
+pub const DECOY_MASKS: usize = 16;
+/// EMC capacity for the cached configurations: small enough that the Zipf
+/// tail thrashes it, so the tier *behind* the EMC decides the cost.
+pub const ABLATION_EMC_ENTRIES: usize = 512;
+
+/// The three datapath cache configurations under ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierConfig {
+    /// No caches: every packet walks the tuple-space classifier.
+    ClassifierOnly,
+    /// EMC in front, megaflow disabled: EMC misses pay the classifier.
+    EmcOnly,
+    /// The full hierarchy: EMC misses fall to one wildcard probe.
+    EmcMegaflow,
+}
+
+impl TierConfig {
+    /// All configurations. No cost ordering is implied by the array
+    /// order — which configuration is cheapest under a skewed flow mix
+    /// is exactly what the bench measures.
+    pub const ALL: [TierConfig; 3] = [
+        TierConfig::ClassifierOnly,
+        TierConfig::EmcOnly,
+        TierConfig::EmcMegaflow,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TierConfig::ClassifierOnly => "classifier_only",
+            TierConfig::EmcOnly => "emc_only",
+            TierConfig::EmcMegaflow => "emc_megaflow",
+        }
+    }
+
+    /// The caches this configuration runs with.
+    pub fn caches(&self) -> Option<PmdCaches> {
+        match self {
+            TierConfig::ClassifierOnly => None,
+            TierConfig::EmcOnly => Some(PmdCaches::with_capacity(ABLATION_EMC_ENTRIES, 0)),
+            TierConfig::EmcMegaflow => Some(PmdCaches::with_capacity(
+                ABLATION_EMC_ENTRIES,
+                ovs_dp::megaflow::DEFAULT_MEGAFLOW_ENTRIES,
+            )),
+        }
+    }
+}
+
+/// A datapath + traffic sample ready for tier measurements.
+pub struct CacheTierAblation {
+    pub dp: Arc<Datapath>,
+    /// Zipf-skewed sample of flow keys, all arriving on port 1.
+    pub keys: Vec<FlowKey>,
+}
+
+/// Builds the ablation world: one matching rule on port 1 plus
+/// `DECOY_MASKS` higher-priority rules on ports traffic never uses, each
+/// with a distinct wildcard mask. The decoys force a cold classifier walk
+/// to probe every subtable before finding the real rule — the miss cost
+/// the paper's delay models attribute to the slow path.
+pub fn build(samples: usize) -> CacheTierAblation {
+    let dp = Datapath::new(false);
+    {
+        let mut table = dp.table.write();
+        table.apply(&FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            100,
+            vec![Action::Output(PortNo(2))],
+        ));
+        for i in 1..=DECOY_MASKS {
+            // Vary the *shape* of the match (which fields are pinned), not
+            // just the values: each nonzero i yields a distinct mask ⇒
+            // subtable (i = 0 would repeat the real rule's in_port-only
+            // mask, which is why the range starts at 1).
+            let mut m = FlowMatch::in_port(PortNo(200 + i as u16));
+            if i & 1 != 0 {
+                m.l4_dst = Some(i as u16);
+            }
+            if i & 2 != 0 {
+                m.l4_src = Some(i as u16);
+            }
+            if i & 4 != 0 {
+                m.eth_type = Some(0x0800);
+            }
+            if i & 8 != 0 {
+                m.ipv4_dst = Some((Ipv4Addr::new(10, 0, 0, 0), 8 + i as u8));
+            }
+            if i & 16 != 0 {
+                m.ip_proto = Some(17);
+            }
+            table.apply(&FlowMod::add(m, 300, vec![Action::Output(PortNo(3))]));
+        }
+    }
+    CacheTierAblation {
+        dp,
+        keys: zipf_keys(samples),
+    }
+}
+
+/// Deterministic Zipf(s≈1.1) sample of `samples` keys over [`FLOWS`]
+/// distinct UDP flows (xorshift64*, fixed seed — identical traffic for
+/// every configuration and every run).
+pub fn zipf_keys(samples: usize) -> Vec<FlowKey> {
+    // Per-flow keys, extracted once.
+    let flow_keys: Vec<FlowKey> = (0..FLOWS)
+        .map(|f| {
+            FlowKey::extract(
+                &PacketBuilder::udp_probe(64)
+                    .ports(1024 + (f >> 8) as u16, 1024 + (f & 0xff) as u16)
+                    .build(),
+            )
+        })
+        .collect();
+    // Zipf CDF over ranks 1..=FLOWS.
+    let mut cdf = Vec::with_capacity(FLOWS);
+    let mut total = 0.0f64;
+    for rank in 1..=FLOWS {
+        total += 1.0 / (rank as f64).powf(1.1);
+        cdf.push(total);
+    }
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    (0..samples)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+                * total;
+            let rank = cdf.partition_point(|&c| c < u).min(FLOWS - 1);
+            flow_keys[rank]
+        })
+        .collect()
+}
+
+/// Per-tier resolution counts of one pass (see [`run_pass`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCounts {
+    pub emc: usize,
+    pub megaflow: usize,
+    pub classifier: usize,
+    pub miss: usize,
+}
+
+impl TierCounts {
+    /// Lookups that resolved to a rule, in any tier.
+    pub fn matched(&self) -> usize {
+        self.emc + self.megaflow + self.classifier
+    }
+}
+
+/// One pass of the sample through the classification hierarchy, counting
+/// which tier resolved each lookup (callers assert `matched()` equals the
+/// sample size: every flow must resolve, whichever tier serves it).
+pub fn run_pass(dp: &Datapath, keys: &[FlowKey], caches: &mut Option<PmdCaches>) -> TierCounts {
+    use ovs_dp::pmd::CacheTier;
+    let mut counts = TierCounts::default();
+    for key in keys {
+        let (rule, tier) = dp.classify(PortNo(1), key, caches.as_mut(), 1, 64);
+        match (rule.is_some(), tier) {
+            (false, _) => counts.miss += 1,
+            (true, CacheTier::Emc) => counts.emc += 1,
+            (true, CacheTier::Megaflow) => counts.megaflow += 1,
+            (true, CacheTier::Classifier) => counts.classifier += 1,
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovs_dp::pmd::CacheTier;
+
+    #[test]
+    fn every_configuration_resolves_every_sample() {
+        let world = build(2048);
+        for cfg in TierConfig::ALL {
+            let mut caches = cfg.caches();
+            let counts = run_pass(&world.dp, &world.keys, &mut caches);
+            assert_eq!(counts.miss, 0, "{} dropped lookups", cfg.label());
+            assert_eq!(counts.matched(), world.keys.len());
+        }
+    }
+
+    #[test]
+    fn zipf_sample_is_skewed_and_deterministic() {
+        let a = zipf_keys(4096);
+        let b = zipf_keys(4096);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y), "non-deterministic");
+        // The mode must dominate: it should appear far more often than the
+        // uniform share (4096 samples / 4096 flows = 1).
+        let mut counts = std::collections::HashMap::new();
+        for k in &a {
+            *counts.entry((k.l4_src, k.l4_dst)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 100, "heaviest flow only {max} of 4096 samples");
+        assert!(counts.len() > 32, "sample covers a tail of flows");
+    }
+
+    #[test]
+    fn megaflow_configuration_absorbs_emc_thrash() {
+        let world = build(4096);
+        let mut caches = TierConfig::EmcMegaflow.caches();
+        // Warm pass, then the measured shape: after warming, the Zipf tail
+        // exceeds the EMC but the megaflow must catch the overflow instead
+        // of the classifier.
+        run_pass(&world.dp, &world.keys, &mut caches);
+        let counts = run_pass(&world.dp, &world.keys, &mut caches);
+        assert_eq!(counts.miss, 0);
+        assert_eq!(counts.classifier, 0, "warm megaflow: no classifier walks");
+        assert!(counts.megaflow > 0, "EMC absorbed everything: no thrash?");
+        // The very first cold lookup is a classifier walk.
+        let mut one = TierConfig::EmcMegaflow.caches();
+        let (rule, tier) = world
+            .dp
+            .classify(PortNo(1), &world.keys[0], one.as_mut(), 1, 64);
+        assert!(rule.is_some());
+        assert_eq!(tier, CacheTier::Classifier);
+    }
+}

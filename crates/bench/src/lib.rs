@@ -17,6 +17,8 @@
 
 use simnet::FigureRow;
 
+pub mod cache_tiers;
+
 /// Formats a figure's rows as an aligned console table.
 pub fn format_rows(title: &str, xlabel: &str, rows: &[FigureRow]) -> String {
     let mut out = String::new();

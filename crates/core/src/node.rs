@@ -238,6 +238,16 @@ impl HighwayNode {
         // while their flow counters above keep counting.
         out.push_str("=== ports (switch-side raw) ===\n");
         out.push_str(&ovs_dp::dump::dump_ports(&dp));
+        // The cache hierarchy's view of the same traffic: which tier (EMC,
+        // megaflow, classifier) resolved the packets the switch did carry,
+        // plus the live megaflow aggregates per PMD (`dpctl dump-flows`).
+        out.push_str("=== datapath caches ===\n");
+        let cs = dp.cache_stats();
+        out.push_str(&format!(
+            "  lookups={} matched={} (emc={} megaflow={} classifier={}) misses={}\n",
+            cs.lookups, cs.matched, cs.emc_hits, cs.megaflow_hits, cs.classifier_hits, cs.misses,
+        ));
+        out.push_str(&ovs_dp::dump::dump_megaflows(&dp));
         out.push_str("=== highway ===\n");
         match &self.manager {
             None => out.push_str("  disabled (vanilla mode)\n"),

@@ -220,7 +220,7 @@ impl FlowMatch {
 }
 
 /// Which fields a match constrains (prefix lengths for IPv4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct MatchMask {
     pub in_port: bool,
     pub eth_src: bool,
@@ -233,6 +233,62 @@ pub struct MatchMask {
     pub ipv4_dst_len: u8,
     pub l4_src: bool,
     pub l4_dst: bool,
+}
+
+impl MatchMask {
+    /// The all-wildcard mask: constrains nothing, covers every packet.
+    pub fn empty() -> MatchMask {
+        MatchMask::default()
+    }
+
+    /// True when no field is constrained.
+    pub fn is_empty(&self) -> bool {
+        *self == MatchMask::default()
+    }
+
+    /// Folds `other` into this mask: the result constrains every field
+    /// either mask constrains (field-wise OR, prefix lengths take the
+    /// longer). This is how staged unwildcarding accumulates the minimal
+    /// megaflow mask: fold the mask of every subtable the classifier
+    /// consulted, and any packet agreeing on the folded fields walks the
+    /// identical subtables to the identical outcome.
+    pub fn fold(&mut self, other: &MatchMask) {
+        self.in_port |= other.in_port;
+        self.eth_src |= other.eth_src;
+        self.eth_dst |= other.eth_dst;
+        self.vlan_id |= other.vlan_id;
+        self.eth_type |= other.eth_type;
+        self.ip_tos |= other.ip_tos;
+        self.ip_proto |= other.ip_proto;
+        self.ipv4_src_len = self.ipv4_src_len.max(other.ipv4_src_len);
+        self.ipv4_dst_len = self.ipv4_dst_len.max(other.ipv4_dst_len);
+        self.l4_src |= other.l4_src;
+        self.l4_dst |= other.l4_dst;
+    }
+
+    /// The fold of two masks, by value.
+    pub fn union(mut self, other: &MatchMask) -> MatchMask {
+        self.fold(other);
+        self
+    }
+
+    /// Does `sub`'s constraint set include this mask's? (Every field this
+    /// mask pins, `sub` pins at least as tightly.) A megaflow installed
+    /// under `sub` therefore distinguishes at least everything this mask
+    /// distinguishes.
+    pub fn covered_by(&self, sub: &MatchMask) -> bool {
+        (!self.in_port || sub.in_port)
+            && (!self.eth_src || sub.eth_src)
+            && (!self.eth_dst || sub.eth_dst)
+            && (!self.vlan_id || sub.vlan_id)
+            && (!self.eth_type || sub.eth_type)
+            && (!self.ip_tos || sub.ip_tos)
+            && (!self.ip_proto || sub.ip_proto)
+            && self.ipv4_src_len <= sub.ipv4_src_len
+            && self.ipv4_dst_len <= sub.ipv4_dst_len
+            && (!self.l4_src || sub.l4_src)
+            && (!self.l4_dst || sub.l4_dst)
+    }
 }
 
 /// A packet (or rule) projected onto a [`MatchMask`]; hashable subtable key.
@@ -335,6 +391,56 @@ mod tests {
         assert!(FlowMatch::any().covers_in_port(PortNo(5)));
         assert!(FlowMatch::in_port(PortNo(5)).covers_in_port(PortNo(5)));
         assert!(!FlowMatch::in_port(PortNo(6)).covers_in_port(PortNo(5)));
+    }
+
+    #[test]
+    fn mask_fold_is_fieldwise_or_with_max_prefix() {
+        let mut m = FlowMatch::in_port(PortNo(1));
+        m.ipv4_dst = Some((Ipv4Addr::new(10, 0, 0, 0), 8));
+        let mut n = FlowMatch::any();
+        n.l4_dst = Some(80);
+        n.ipv4_dst = Some((Ipv4Addr::new(10, 9, 0, 0), 16));
+
+        let mut folded = m.mask();
+        folded.fold(&n.mask());
+        assert!(folded.in_port && folded.l4_dst);
+        assert_eq!(folded.ipv4_dst_len, 16);
+        assert!(m.mask().covered_by(&folded));
+        assert!(n.mask().covered_by(&folded));
+        assert!(!folded.covered_by(&m.mask()));
+        assert_eq!(folded, m.mask().union(&n.mask()));
+    }
+
+    #[test]
+    fn empty_mask_is_identity_for_fold() {
+        let mut m = FlowMatch::in_port(PortNo(3));
+        m.eth_type = Some(0x0800);
+        m.l4_src = Some(9);
+        let mask = m.mask();
+        assert_eq!(mask.union(&MatchMask::empty()), mask);
+        assert_eq!(MatchMask::empty().union(&mask), mask);
+        assert!(MatchMask::empty().is_empty());
+        assert!(!mask.is_empty());
+        assert!(MatchMask::empty().covered_by(&mask));
+    }
+
+    #[test]
+    fn projection_under_folded_mask_distinguishes_matching() {
+        // The staged-unwildcarding soundness core: if two packets project
+        // identically under a folded mask, they match the same rules whose
+        // masks the fold covers.
+        let mut rule = FlowMatch::any();
+        rule.l4_dst = Some(200);
+        let rule = rule.canonicalise();
+        let folded = rule.mask().union(&FlowMatch::in_port(PortNo(1)).mask());
+        let k1 = key();
+        let mut k2 = key();
+        k2.l4_src = 999; // differs only in a field the fold wildcards
+        assert_eq!(
+            FlowMatch::project(&folded, PortNo(1), &k1),
+            FlowMatch::project(&folded, PortNo(1), &k2)
+        );
+        assert_eq!(rule.matches(PortNo(1), &k1), rule.matches(PortNo(1), &k2));
     }
 
     #[test]

@@ -1,10 +1,19 @@
 //! Tuple-space classifier (OVS `dpcls`).
 //!
 //! Rules are grouped into *subtables* by wildcard mask; within a subtable a
-//! packet projected onto the mask is an exact hash key. A lookup probes each
-//! subtable once, keeping the best-priority hit — O(#masks) instead of
-//! O(#rules), which is why real service graphs with thousands of rules but a
-//! handful of distinct masks classify quickly.
+//! packet projected onto the mask is an exact hash key. A lookup probes
+//! subtables in descending order of their best rule priority, keeping the
+//! best-priority hit and stopping as soon as no remaining subtable can beat
+//! it — O(#masks consulted) instead of O(#rules), which is why real service
+//! graphs with thousands of rules but a handful of distinct masks classify
+//! quickly.
+//!
+//! Lookups also support *staged unwildcarding*: [`Classifier::lookup_staged`]
+//! returns the fold of the masks of every subtable it consulted. Any packet
+//! that agrees with the looked-up packet on the folded fields walks the same
+//! subtables, sees the same candidates and exits at the same point — so the
+//! folded mask is a sound wildcard for a megaflow cache entry covering the
+//! widest-safe traffic aggregate.
 
 use crate::table::RuleEntry;
 use openflow::fmatch::{FlowMatch, MatchMask, ProjectedKey};
@@ -18,6 +27,9 @@ struct Subtable {
     /// Projected rule key → rules with that projection, best priority first.
     entries: HashMap<ProjectedKey, Vec<Arc<RuleEntry>>>,
     len: usize,
+    /// Best priority of any rule in this subtable (probe-order sort key;
+    /// lookups stop once the running best beats every remaining subtable).
+    max_priority: u16,
 }
 
 /// The classifier index over a flow table's rules.
@@ -47,15 +59,16 @@ impl Classifier {
     /// Indexes a rule.
     pub fn insert(&mut self, rule: &Arc<RuleEntry>) {
         let mask = rule.fmatch.mask();
-        let sub = match self.subtables.iter_mut().find(|s| s.mask == mask) {
-            Some(s) => s,
+        let (sub, is_new) = match self.subtables.iter_mut().position(|s| s.mask == mask) {
+            Some(i) => (&mut self.subtables[i], false),
             None => {
                 self.subtables.push(Subtable {
                     mask,
                     entries: HashMap::new(),
                     len: 0,
+                    max_priority: 0,
                 });
-                self.subtables.last_mut().expect("just pushed")
+                (self.subtables.last_mut().expect("just pushed"), true)
             }
         };
         let bucket = sub.entries.entry(rule.fmatch.own_projection()).or_default();
@@ -67,6 +80,14 @@ impl Classifier {
             .unwrap_or(bucket.len());
         bucket.insert(pos, Arc::clone(rule));
         sub.len += 1;
+        // Probe order only changes when a subtable appears or its best
+        // priority rises; skip the resort for the common case (another
+        // rule at or below the subtable's existing ceiling).
+        let raised = rule.priority > sub.max_priority;
+        sub.max_priority = sub.max_priority.max(rule.priority);
+        if is_new || raised {
+            self.resort();
+        }
     }
 
     /// Unindexes a rule (by id).
@@ -85,15 +106,58 @@ impl Classifier {
                 }
             }
             if sub.entries.is_empty() {
-                self.subtables.swap_remove(idx);
+                self.subtables.remove(idx);
+            } else if rule.priority == sub.max_priority {
+                // Buckets keep best priority first, so the subtable max is
+                // the max over bucket heads.
+                sub.max_priority = sub
+                    .entries
+                    .values()
+                    .filter_map(|b| b.first())
+                    .map(|r| r.priority)
+                    .max()
+                    .unwrap_or(0);
+                self.resort();
             }
         }
     }
 
+    /// Restores the probe-order invariant: subtables sorted by descending
+    /// `max_priority`. Stable, so the order (and therefore the staged mask
+    /// of any lookup) is deterministic between table mutations.
+    fn resort(&mut self) {
+        self.subtables
+            .sort_by_key(|s| std::cmp::Reverse(s.max_priority));
+    }
+
     /// Best-priority rule matching `(port, key)`; ties broken by lowest id.
     pub fn lookup(&self, port: PortNo, key: &FlowKey) -> Option<Arc<RuleEntry>> {
+        self.lookup_staged(port, key).0
+    }
+
+    /// Like [`Classifier::lookup`], but also returns the fold of the masks
+    /// of every subtable consulted — the *staged unwildcarding* mask. A
+    /// megaflow entry installed under this mask is sound: every packet
+    /// projecting equal under it resolves to the same rule (or the same
+    /// miss) as a cold classifier walk.
+    pub fn lookup_staged(
+        &self,
+        port: PortNo,
+        key: &FlowKey,
+    ) -> (Option<Arc<RuleEntry>>, MatchMask) {
         let mut best: Option<&Arc<RuleEntry>> = None;
+        let mut staged = MatchMask::empty();
         for sub in &self.subtables {
+            if let Some(b) = best {
+                // Probe order is descending max_priority: once the running
+                // best strictly beats a subtable's ceiling it beats all that
+                // follow. Equal ceilings must still be probed — a same-
+                // priority candidate with a lower id wins the tie.
+                if b.priority > sub.max_priority {
+                    break;
+                }
+            }
+            staged.fold(&sub.mask);
             let proj = FlowMatch::project(&sub.mask, port, key);
             if let Some(bucket) = sub.entries.get(&proj) {
                 if let Some(candidate) = bucket.first() {
@@ -110,7 +174,7 @@ impl Classifier {
                 }
             }
         }
-        best.cloned()
+        (best.cloned(), staged)
     }
 }
 

@@ -57,8 +57,12 @@ impl Emc {
         }
     }
 
-    /// Installs a flow → rule binding for `generation`.
+    /// Installs a flow → rule binding for `generation`. A capacity of 0
+    /// disables the tier entirely (inserts are no-ops, lookups miss).
     pub fn insert(&mut self, port: PortNo, key: FlowKey, rule: Arc<RuleEntry>, generation: u64) {
+        if self.capacity == 0 {
+            return;
+        }
         if self.map.len() >= self.capacity && !self.map.contains_key(&(port, key)) {
             // Cheap eviction: drop stale entries; if none are stale, clear.
             // (Real OVS probabilistically replaces; the effect — bounded
@@ -136,6 +140,15 @@ mod tests {
         let key = FlowKey::default();
         emc.insert(PortNo(1), key, rule(1), 0);
         assert!(emc.lookup(PortNo(2), &key, 0).is_none());
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_tier() {
+        let mut emc = Emc::new(0);
+        let key = FlowKey::default();
+        emc.insert(PortNo(1), key, rule(1), 0);
+        assert!(emc.is_empty());
+        assert!(emc.lookup(PortNo(1), &key, 0).is_none());
     }
 
     #[test]

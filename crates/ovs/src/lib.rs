@@ -12,6 +12,10 @@
 //!   mask, exactly OVS's `dpcls`.
 //! * [`emc`] — the exact-match cache in front of the classifier, keyed by
 //!   `(in_port, flow key)`, invalidated by table generation.
+//! * [`megaflow`] — the wildcard-mask cache between the EMC and the
+//!   classifier: one entry per *traffic aggregate* under the staged
+//!   unwildcarding mask the classifier accumulated, invalidated by the
+//!   same table generation.
 //! * [`actions`] — action execution: header rewrites and output.
 //! * [`pmd`] — the poll-mode datapath loop servicing every port.
 //! * [`ofproto`] — the OpenFlow agent: decodes controller messages, applies
@@ -32,14 +36,16 @@ pub mod actions;
 pub mod classifier;
 pub mod dump;
 pub mod emc;
+pub mod megaflow;
 pub mod ofproto;
 pub mod pmd;
 pub mod port;
 pub mod table;
 pub mod vswitchd;
 
+pub use megaflow::{Megaflow, MegaflowRow};
 pub use ofproto::{FlowTableObserver, Ofproto, RuleSnapshot, StatsAugmenter};
-pub use pmd::PmdThread;
+pub use pmd::{CacheTier, CacheTierStats, PmdCaches, PmdThread};
 pub use port::{OvsPort, PortBackend, PortCounters};
 pub use table::{FlowTable, RuleEntry, TableChange};
 pub use vswitchd::{VSwitchd, VSwitchdConfig};

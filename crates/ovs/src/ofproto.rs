@@ -399,18 +399,28 @@ impl Ofproto {
     }
 
     fn build_table_stats(&self) -> Vec<TableStatsEntry> {
-        use std::sync::atomic::Ordering;
         // One table, like the OF 1.0 profile of the prototype's OVS. The
         // lookup/matched counters are switch-side only: packets riding a
         // bypass never enter the table, and the prototype makes the same
         // choice (only flow and port stats are shared-memory augmented).
+        //
+        // With the three-tier datapath (EMC → megaflow → classifier) the
+        // `OFPST_TABLE` semantics are: `lookup_count` counts every packet
+        // the datapath processed exactly once, whichever tier resolved it;
+        // `matched_count` equals the sum of the per-tier hit counters.
+        // The reply reports the single `matched` counter rather than
+        // re-summing the tier counters, so a concurrent PMD cannot produce
+        // a transient matched > lookups view. The identities are pinned by
+        // `ovs_dp::pmd::tests::stats_split_by_tier_is_consistent` and
+        // `table_stats_report_tier_consistent_counts` below.
+        let stats = self.dp.cache_stats();
         vec![TableStatsEntry {
             table_id: 0,
             name: "classifier".into(),
             max_entries: 1 << 20,
             active_count: self.dp.table.read().len() as u32,
-            lookup_count: self.dp.lookups.load(Ordering::Relaxed),
-            matched_count: self.dp.matched.load(Ordering::Relaxed),
+            lookup_count: stats.lookups,
+            matched_count: stats.matched,
         }]
     }
 
@@ -523,5 +533,57 @@ impl Ofproto {
             self.control_inflight.store(false, Ordering::Release);
         }
         handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmd::PmdCaches;
+    use crate::port::OvsPort;
+    use openflow::messages::FlowMod;
+    use packet_wire::PacketBuilder;
+    use shmem_sim::channel;
+
+    /// `OFPST_TABLE` reports the tier-consistent counters: one lookup per
+    /// processed packet, matched == sum of per-tier hits — regardless of
+    /// which cache tier resolved each packet.
+    #[test]
+    fn table_stats_report_tier_consistent_counts() {
+        let dp = Datapath::new(false);
+        let ofproto = Ofproto::new(Arc::clone(&dp), 0x1);
+        let (sw1, mut vm1) = channel("t1", 64);
+        let (sw2, _vm2) = channel("t2", 64);
+        dp.add_port(OvsPort::dpdkr(PortNo(1), "t1", sw1));
+        dp.add_port(OvsPort::dpdkr(PortNo(2), "t2", sw2));
+        ofproto.apply_flow_mod(&FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            10,
+            vec![Action::Output(PortNo(2))],
+        ));
+
+        let mut caches = PmdCaches::new();
+        // Same flow three times: classifier resolves once, EMC the rest.
+        for _ in 0..3 {
+            vm1.send(Mbuf::from_slice(&PacketBuilder::udp_probe(64).build()))
+                .unwrap();
+            crate::pmd::pump_once(&dp, Some(&mut caches));
+        }
+
+        let entries = ofproto.build_table_stats();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].lookup_count, 3);
+        assert_eq!(entries[0].matched_count, 3);
+        let s = dp.cache_stats();
+        assert_eq!(entries[0].matched_count, s.matched);
+        assert_eq!(
+            s.matched,
+            s.emc_hits + s.megaflow_hits + s.classifier_hits,
+            "matched must equal the sum of per-tier hits"
+        );
+        assert_eq!(s.classifier_hits, 1);
+        assert_eq!(s.emc_hits, 2);
+        assert_eq!(s.megaflow_hits, 0);
+        assert_eq!(s.lookups, s.matched + s.misses);
     }
 }

@@ -1,19 +1,92 @@
 //! The poll-mode datapath: shared state ([`Datapath`]) plus the PMD loop
-//! that services every port, classifies packets (EMC → classifier) and
-//! executes actions.
+//! that services every port, classifies packets through the three-tier
+//! cache hierarchy (EMC → megaflow → classifier) and executes actions.
+//!
+//! Classification is *burst-batched*: a received burst is grouped by flow
+//! key and each group resolves through the cache hierarchy once, so a
+//! 32-packet burst of one flow costs one lookup, not thirty-two.
 
 use crate::actions::{execute, OutputTarget};
 use crate::emc::{Emc, DEFAULT_EMC_ENTRIES};
+use crate::megaflow::{Megaflow, MegaflowRow, DEFAULT_MEGAFLOW_ENTRIES};
 use crate::port::OvsPort;
-use crate::table::FlowTable;
+use crate::table::{FlowTable, RuleEntry};
 use crossbeam::channel::{Receiver, Sender, TrySendError};
 use dpdk_sim::{cycles, Mbuf, DEFAULT_BURST};
 use openflow::messages::{PacketIn, PacketInReason};
 use openflow::PortNo;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Megaflow hits promote their exact flow into the EMC once per this many
+/// hits (OVS's `emc-insert-inv-prob` idea): frequent flows converge into
+/// the EMC while a mouse-heavy working set larger than the EMC cannot
+/// continuously wipe it.
+pub const EMC_PROMOTION_INTERVAL: u64 = 8;
+
+/// The per-PMD lookup caches in front of the shared classifier: the
+/// exact-match cache (tier 1) and the megaflow cache (tier 2).
+pub struct PmdCaches {
+    pub emc: Emc,
+    pub megaflow: Megaflow,
+    /// Rolling megaflow-hit counter driving 1-in-[`EMC_PROMOTION_INTERVAL`]
+    /// EMC promotion.
+    emc_promotion_tick: u64,
+}
+
+impl Default for PmdCaches {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PmdCaches {
+    /// Default-sized caches (8 Ki exact flows, 64 Ki aggregates).
+    pub fn new() -> PmdCaches {
+        PmdCaches::with_capacity(DEFAULT_EMC_ENTRIES, DEFAULT_MEGAFLOW_ENTRIES)
+    }
+
+    /// Caches bounded to the given entry counts; a capacity of 0 disables
+    /// the corresponding tier (the ablation configurations).
+    pub fn with_capacity(emc_entries: usize, megaflow_entries: usize) -> PmdCaches {
+        PmdCaches {
+            emc: Emc::new(emc_entries),
+            megaflow: Megaflow::new(megaflow_entries),
+            emc_promotion_tick: 0,
+        }
+    }
+}
+
+/// Which tier of the lookup hierarchy resolved a packet group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Tier 1: exact-match cache.
+    Emc,
+    /// Tier 2: megaflow (wildcard) cache.
+    Megaflow,
+    /// Tier 3: full tuple-space classifier walk (also the miss tier).
+    Classifier,
+}
+
+/// A point-in-time copy of the datapath's lookup counters, split by the
+/// tier that resolved each packet. The invariants these satisfy are pinned
+/// by `stats_split_by_tier_is_consistent` (and reported via `OFPST_TABLE`):
+///
+/// * `lookups == matched + misses`  — every processed packet is one lookup;
+/// * `matched == emc_hits + megaflow_hits + classifier_hits` — every
+///   matched packet is attributed to exactly one tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTierStats {
+    pub lookups: u64,
+    pub matched: u64,
+    pub emc_hits: u64,
+    pub megaflow_hits: u64,
+    pub classifier_hits: u64,
+    /// Packets that matched no rule (dropped or punted, per miss policy).
+    pub misses: u64,
+}
 
 /// Shared datapath state: the port table and the flow table.
 pub struct Datapath {
@@ -21,11 +94,19 @@ pub struct Datapath {
     pub table: RwLock<FlowTable>,
     /// Bumped whenever the port set changes (PMD refreshes its snapshot).
     pub ports_generation: AtomicU64,
-    /// Table lookups performed (every processed packet counts one, whether
-    /// it resolves in the EMC or the classifier — `OFPST_TABLE` semantics).
+    /// Table lookups performed: every processed packet counts exactly one,
+    /// whichever tier resolves it — `OFPST_TABLE` lookup semantics. Always
+    /// equals `matched + (miss_drops + punted misses)`.
     pub lookups: AtomicU64,
-    /// Lookups that hit a rule.
+    /// Lookups that hit a rule, in any tier. Always equals
+    /// `emc_hits + megaflow_hits + classifier_hits`.
     pub matched: AtomicU64,
+    /// Packets resolved by the exact-match cache (tier 1).
+    pub emc_hits: AtomicU64,
+    /// Packets resolved by the megaflow cache (tier 2).
+    pub megaflow_hits: AtomicU64,
+    /// Packets resolved by a full classifier walk (tier 3).
+    pub classifier_hits: AtomicU64,
     /// Packets dropped because no rule matched (miss policy = drop).
     pub miss_drops: AtomicU64,
     /// Punt misses to the controller instead of dropping.
@@ -34,6 +115,9 @@ pub struct Datapath {
     packet_in_rx: Receiver<PacketIn>,
     /// Packet-ins dropped because the controller queue was full.
     pub packet_in_drops: AtomicU64,
+    /// Cache handles registered by running PMD threads, so operator paths
+    /// (`dump_megaflows`) can observe the per-PMD caches.
+    pmd_caches: RwLock<Vec<Arc<Mutex<PmdCaches>>>>,
 }
 
 impl Datapath {
@@ -48,12 +132,51 @@ impl Datapath {
             ports_generation: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             matched: AtomicU64::new(0),
+            emc_hits: AtomicU64::new(0),
+            megaflow_hits: AtomicU64::new(0),
+            classifier_hits: AtomicU64::new(0),
             miss_drops: AtomicU64::new(0),
             miss_to_controller,
             packet_in_tx: tx,
             packet_in_rx: rx,
             packet_in_drops: AtomicU64::new(0),
+            pmd_caches: RwLock::new(Vec::new()),
         })
+    }
+
+    /// Registers a PMD thread's caches for operator observation
+    /// (megaflow dumps).
+    pub fn register_pmd_caches(&self, caches: &Arc<Mutex<PmdCaches>>) {
+        self.pmd_caches.write().push(Arc::clone(caches));
+    }
+
+    /// Drops a stopped PMD thread's cache registration.
+    pub fn deregister_pmd_caches(&self, caches: &Arc<Mutex<PmdCaches>>) {
+        self.pmd_caches.write().retain(|c| !Arc::ptr_eq(c, caches));
+    }
+
+    /// Per-PMD snapshots of every cached megaflow aggregate (one vec per
+    /// registered PMD, in registration order).
+    pub fn megaflow_rows(&self) -> Vec<Vec<MegaflowRow>> {
+        self.pmd_caches
+            .read()
+            .iter()
+            .map(|c| c.lock().megaflow.rows())
+            .collect()
+    }
+
+    /// Point-in-time copy of the tier-split lookup counters.
+    pub fn cache_stats(&self) -> CacheTierStats {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        let matched = self.matched.load(Ordering::Relaxed);
+        CacheTierStats {
+            lookups,
+            matched,
+            emc_hits: self.emc_hits.load(Ordering::Relaxed),
+            megaflow_hits: self.megaflow_hits.load(Ordering::Relaxed),
+            classifier_hits: self.classifier_hits.load(Ordering::Relaxed),
+            misses: lookups.saturating_sub(matched),
+        }
     }
 
     /// Adds a port; panics on duplicate numbers (compute-agent logic error).
@@ -162,53 +285,154 @@ impl Datapath {
         }
     }
 
-    /// Runs one packet through table lookup + action execution, staging the
-    /// results. Shared by the PMD loop and packet-out handling.
-    pub fn process_packet(
+    /// Resolves one flow key through the lookup hierarchy: EMC, then
+    /// megaflow, then a staged classifier walk whose result primes both
+    /// caches. Returns the rule (if any) and the tier that resolved it.
+    /// `pkts`/`bytes` are the burst share this resolution stands for
+    /// (megaflow dump counters); counter attribution on the datapath
+    /// itself is the caller's job.
+    pub fn classify(
         &self,
-        mut pkt: Mbuf,
         in_port: PortNo,
-        emc: Option<&mut Emc>,
+        key: &packet_wire::FlowKey,
+        caches: Option<&mut PmdCaches>,
+        pkts: u64,
+        bytes: u64,
+    ) -> (Option<Arc<RuleEntry>>, CacheTier) {
+        let table = self.table.read();
+        let generation = table.generation();
+        let Some(caches) = caches else {
+            return (table.lookup(in_port, key), CacheTier::Classifier);
+        };
+        if let Some(rule) = caches.emc.lookup(in_port, key, generation) {
+            return (Some(rule), CacheTier::Emc);
+        }
+        if let Some(rule) = caches
+            .megaflow
+            .lookup(in_port, key, generation, pkts, bytes)
+        {
+            // A megaflow hit promotes the exact flow into the EMC only
+            // 1-in-N, like OVS's probabilistic EMC insertion on the dpcls
+            // path: when the working set exceeds the EMC, unconditional
+            // promotion would keep clearing the hot flows it just cached.
+            caches.emc_promotion_tick = caches.emc_promotion_tick.wrapping_add(1);
+            if caches.emc_promotion_tick % EMC_PROMOTION_INTERVAL == 1 {
+                caches
+                    .emc
+                    .insert(in_port, *key, Arc::clone(&rule), generation);
+            }
+            return (Some(rule), CacheTier::Megaflow);
+        }
+        let (found, staged_mask) = table.lookup_staged(in_port, key);
+        if let Some(rule) = &found {
+            caches.megaflow.insert(
+                in_port,
+                key,
+                staged_mask,
+                Arc::clone(rule),
+                generation,
+                pkts,
+                bytes,
+            );
+            caches
+                .emc
+                .insert(in_port, *key, Arc::clone(rule), generation);
+        }
+        (found, CacheTier::Classifier)
+    }
+
+    /// Runs one received burst through grouped classification + action
+    /// execution, staging the results. The burst is grouped by flow key;
+    /// each group resolves through [`Datapath::classify`] once and its
+    /// packets then execute the matched actions in sequence (relative order
+    /// within a flow is preserved; the burst drains completely).
+    pub fn process_burst(
+        &self,
+        burst: &mut Vec<Mbuf>,
+        in_port: PortNo,
+        mut caches: Option<&mut PmdCaches>,
         staged: &mut BTreeMap<PortNo, Vec<Mbuf>>,
         port_snapshot: &[Arc<OvsPort>],
         now: u64,
     ) {
-        let key = packet_wire::FlowKey::extract(pkt.data());
-        let generation;
-        let rule = {
-            // EMC first (generation-checked), then the classifier.
-            let table = self.table.read();
-            generation = table.generation();
-            match emc {
-                Some(emc) => match emc.lookup(in_port, &key, generation) {
-                    Some(rule) => Some(rule),
-                    None => {
-                        let found = table.lookup(in_port, &key);
-                        if let Some(ref r) = found {
-                            emc.insert(in_port, key, Arc::clone(r), generation);
-                        }
-                        found
+        // Group by flow key in place: extract every key once, then walk
+        // the burst per group leader (first packet of each distinct key).
+        // Bursts are small (≤ DEFAULT_BURST), so the linear rescans beat
+        // both hashing and per-group buffers — two bounded allocations per
+        // burst instead of one per flow group.
+        let keys: Vec<packet_wire::FlowKey> = burst
+            .iter()
+            .map(|pkt| packet_wire::FlowKey::extract(pkt.data()))
+            .collect();
+        let mut slots: Vec<Option<Mbuf>> = burst.drain(..).map(Some).collect();
+        for leader in 0..keys.len() {
+            if slots[leader].is_none() {
+                continue; // consumed with an earlier leader's group
+            }
+            let key = keys[leader];
+            let mut n = 0u64;
+            let mut bytes = 0u64;
+            for (k, pkt) in keys.iter().zip(&slots).skip(leader) {
+                if *k == key {
+                    if let Some(pkt) = pkt {
+                        n += 1;
+                        bytes += pkt.len() as u64;
                     }
-                },
-                None => table.lookup(in_port, &key),
+                }
             }
-        };
-        self.lookups.fetch_add(1, Ordering::Relaxed);
-        match rule {
-            Some(rule) => {
-                self.matched.fetch_add(1, Ordering::Relaxed);
-                rule.hit(pkt.len() as u64, now);
-                let targets = execute(&mut pkt, &rule.actions);
-                self.stage_outputs(pkt, in_port, &targets, staged, port_snapshot);
-            }
-            None => {
-                if self.miss_to_controller {
-                    self.punt(&pkt, in_port, PacketInReason::NoMatch);
-                } else {
-                    self.miss_drops.fetch_add(1, Ordering::Relaxed);
+            let (rule, tier) = self.classify(in_port, &key, caches.as_deref_mut(), n, bytes);
+            self.lookups.fetch_add(n, Ordering::Relaxed);
+            match rule {
+                Some(rule) => {
+                    self.matched.fetch_add(n, Ordering::Relaxed);
+                    let tier_counter = match tier {
+                        CacheTier::Emc => &self.emc_hits,
+                        CacheTier::Megaflow => &self.megaflow_hits,
+                        CacheTier::Classifier => &self.classifier_hits,
+                    };
+                    tier_counter.fetch_add(n, Ordering::Relaxed);
+                    for i in leader..keys.len() {
+                        if keys[i] != key {
+                            continue;
+                        }
+                        if let Some(mut pkt) = slots[i].take() {
+                            rule.hit(pkt.len() as u64, now);
+                            let targets = execute(&mut pkt, &rule.actions);
+                            self.stage_outputs(pkt, in_port, &targets, staged, port_snapshot);
+                        }
+                    }
+                }
+                None => {
+                    for i in leader..keys.len() {
+                        if keys[i] != key {
+                            continue;
+                        }
+                        if let Some(pkt) = slots[i].take() {
+                            if self.miss_to_controller {
+                                self.punt(&pkt, in_port, PacketInReason::NoMatch);
+                            } else {
+                                self.miss_drops.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
                 }
             }
         }
+    }
+
+    /// Runs one packet through lookup + action execution, staging the
+    /// results — a burst of one. Shared by packet-out handling and tests.
+    pub fn process_packet(
+        &self,
+        pkt: Mbuf,
+        in_port: PortNo,
+        caches: Option<&mut PmdCaches>,
+        staged: &mut BTreeMap<PortNo, Vec<Mbuf>>,
+        port_snapshot: &[Arc<OvsPort>],
+        now: u64,
+    ) {
+        let mut burst = vec![pkt];
+        self.process_burst(&mut burst, in_port, caches, staged, port_snapshot, now);
     }
 
     /// Flushes staged packets to their ports (dropping on full rings).
@@ -224,6 +448,30 @@ impl Datapath {
             }
         }
     }
+}
+
+/// One synchronous burst-batched PMD iteration over every port — the body
+/// of [`PmdThread::run`] minus the thread, for deterministic unit tests.
+#[cfg(test)]
+pub(crate) fn pump_once(dp: &Datapath, mut caches: Option<&mut PmdCaches>) {
+    let snapshot: Vec<Arc<OvsPort>> = dp.ports.read().values().cloned().collect();
+    let mut staged = BTreeMap::new();
+    let now = cycles::now();
+    for port in &snapshot {
+        let mut rx = Vec::new();
+        port.rx_burst(&mut rx, DEFAULT_BURST);
+        if !rx.is_empty() {
+            dp.process_burst(
+                &mut rx,
+                port.no,
+                caches.as_deref_mut(),
+                &mut staged,
+                &snapshot,
+                now,
+            );
+        }
+    }
+    dp.flush_staged(&mut staged);
 }
 
 /// A PMD thread: polls its share of the ports in round-robin. With one
@@ -268,7 +516,10 @@ impl PmdThread {
     /// Runs until the stop flag is raised. Yields when fully idle so the
     /// reproduction behaves on machines with fewer cores than the testbed.
     pub fn run(self) {
-        let mut emc = Emc::new(DEFAULT_EMC_ENTRIES);
+        // Per-PMD caches, shared with the datapath for operator dumps. The
+        // lock is uncontended except when an operator snapshot runs.
+        let caches = Arc::new(Mutex::new(PmdCaches::new()));
+        self.dp.register_pmd_caches(&caches);
         let mut rx_buf: Vec<Mbuf> = Vec::with_capacity(DEFAULT_BURST);
         let mut staged: BTreeMap<PortNo, Vec<Mbuf>> = BTreeMap::new();
         let mut snapshot: Vec<Arc<OvsPort>> = Vec::new();
@@ -296,16 +547,14 @@ impl PmdThread {
                     continue;
                 }
                 idle = false;
-                for pkt in rx_buf.drain(..) {
-                    self.dp.process_packet(
-                        pkt,
-                        port.no,
-                        Some(&mut emc),
-                        &mut staged,
-                        &snapshot,
-                        now,
-                    );
-                }
+                self.dp.process_burst(
+                    &mut rx_buf,
+                    port.no,
+                    Some(&mut caches.lock()),
+                    &mut staged,
+                    &snapshot,
+                    now,
+                );
                 self.dp.flush_staged(&mut staged);
             }
             self.iterations.fetch_add(1, Ordering::Relaxed);
@@ -313,6 +562,7 @@ impl PmdThread {
                 std::thread::yield_now();
             }
         }
+        self.dp.deregister_pmd_caches(&caches);
     }
 }
 
@@ -342,17 +592,7 @@ mod tests {
 
     fn pump(dp: &Arc<Datapath>) {
         // One synchronous PMD iteration (no thread), for deterministic tests.
-        let snapshot: Vec<_> = dp.ports.read().values().cloned().collect();
-        let mut staged = BTreeMap::new();
-        let now = cycles::now();
-        for port in &snapshot {
-            let mut rx = Vec::new();
-            port.rx_burst(&mut rx, 32);
-            for pkt in rx {
-                dp.process_packet(pkt, port.no, None, &mut staged, &snapshot, now);
-            }
-        }
-        dp.flush_staged(&mut staged);
+        pump_once(dp, None);
     }
 
     #[test]
@@ -460,6 +700,146 @@ mod tests {
         stop.store(true, Ordering::Release);
         handle.join().unwrap();
         assert_eq!(got, 100);
+    }
+
+    /// One synchronous burst-batched PMD iteration with the given caches.
+    fn pump_with_caches(dp: &Arc<Datapath>, caches: &mut PmdCaches) {
+        pump_once(dp, Some(caches));
+    }
+
+    /// Pins the tier-split stats semantics (`OFPST_TABLE` consistency):
+    /// lookups == matched + misses, matched == sum of per-tier hits, and a
+    /// repeated flow climbs the hierarchy (classifier → megaflow/EMC).
+    #[test]
+    fn stats_split_by_tier_is_consistent() {
+        let (dp, mut vm1, _vm2) = two_port_dp(false);
+        dp.table.write().apply(&FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            10,
+            vec![Action::Output(PortNo(2))],
+        ));
+        let mut caches = PmdCaches::new();
+
+        // Burst 1: two packets of one flow + one of another → grouped
+        // classification resolves each group once, in the classifier.
+        for seq in [1u64, 1, 2] {
+            vm1.send(Mbuf::from_slice(
+                &PacketBuilder::udp_probe(64)
+                    .ports(40000, seq as u16)
+                    .build(),
+            ))
+            .unwrap();
+        }
+        pump_with_caches(&dp, &mut caches);
+        let s = dp.cache_stats();
+        assert_eq!(s.lookups, 3, "every packet is one lookup");
+        assert_eq!(s.matched, 3);
+        // Group 1 (2 pkts) walks the cold classifier; its staged mask pins
+        // only in_port, so group 2's new flow is already a megaflow hit.
+        assert_eq!(s.classifier_hits, 2);
+        assert_eq!(s.megaflow_hits, 1);
+        assert_eq!(s.emc_hits, 0);
+        // The caches resolved once per *group*, not per packet.
+        assert_eq!(caches.emc.stats().1, 2, "one EMC miss per flow group");
+
+        // Burst 2: the same flows again → EMC hits.
+        for seq in [1u64, 2] {
+            vm1.send(Mbuf::from_slice(
+                &PacketBuilder::udp_probe(64)
+                    .ports(40000, seq as u16)
+                    .build(),
+            ))
+            .unwrap();
+        }
+        pump_with_caches(&dp, &mut caches);
+        let s = dp.cache_stats();
+        assert_eq!(s.lookups, 5);
+        assert_eq!(s.matched, 5);
+        assert_eq!(s.emc_hits, 2);
+        assert_eq!(s.matched, s.emc_hits + s.megaflow_hits + s.classifier_hits);
+
+        // A miss (no rule for port 2 traffic is irrelevant here: remove the
+        // rule) keeps the identity lookups == matched + misses.
+        dp.table.write().apply(&FlowMod::delete(FlowMatch::any()));
+        vm1.send(probe()).unwrap();
+        pump_with_caches(&dp, &mut caches);
+        let s = dp.cache_stats();
+        assert_eq!(s.lookups, 6);
+        assert_eq!(s.matched, 5);
+        assert_eq!(s.misses, 1);
+        assert_eq!(dp.miss_drops.load(Ordering::Relaxed), 1);
+        assert_eq!(s.matched, s.emc_hits + s.megaflow_hits + s.classifier_hits);
+    }
+
+    /// The megaflow tier serves EMC misses: a wildcard rule resolved for
+    /// one flow covers sibling flows under the staged mask, so a *new* flow
+    /// of the same aggregate is a megaflow hit, not a classifier walk.
+    #[test]
+    fn megaflow_serves_new_flows_of_a_cached_aggregate() {
+        let (dp, mut vm1, mut vm2) = two_port_dp(false);
+        dp.table.write().apply(&FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            10,
+            vec![Action::Output(PortNo(2))],
+        ));
+        let mut caches = PmdCaches::new();
+
+        vm1.send(Mbuf::from_slice(
+            &PacketBuilder::udp_probe(64).ports(1000, 1).build(),
+        ))
+        .unwrap();
+        pump_with_caches(&dp, &mut caches);
+        assert_eq!(dp.classifier_hits.load(Ordering::Relaxed), 1);
+
+        // A different 5-tuple, same in_port: the staged mask pinned only
+        // in_port, so this is a megaflow hit.
+        vm1.send(Mbuf::from_slice(
+            &PacketBuilder::udp_probe(64).ports(2000, 2).build(),
+        ))
+        .unwrap();
+        pump_with_caches(&dp, &mut caches);
+        assert_eq!(dp.megaflow_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(dp.classifier_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(caches.megaflow.mask_count(), 1);
+        assert!(vm2.recv().is_some() && vm2.recv().is_some());
+
+        // And the megaflow hit promoted the new flow into the EMC.
+        vm1.send(Mbuf::from_slice(
+            &PacketBuilder::udp_probe(64).ports(2000, 2).build(),
+        ))
+        .unwrap();
+        pump_with_caches(&dp, &mut caches);
+        assert_eq!(dp.emc_hits.load(Ordering::Relaxed), 1);
+    }
+
+    /// Generation-based invalidation: a table change must flush both cache
+    /// tiers so no stale actions are ever served.
+    #[test]
+    fn table_change_invalidates_both_cache_tiers() {
+        let (dp, mut vm1, mut vm2) = two_port_dp(false);
+        let (sw3, mut vm3) = channel("dpdkr3", 64);
+        dp.add_port(OvsPort::dpdkr(PortNo(3), "dpdkr3", sw3));
+        dp.table.write().apply(&FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            10,
+            vec![Action::Output(PortNo(2))],
+        ));
+        let mut caches = PmdCaches::new();
+        vm1.send(probe()).unwrap();
+        pump_with_caches(&dp, &mut caches);
+        assert!(vm2.recv().is_some());
+        assert!(!caches.megaflow.is_empty());
+
+        // Re-add with new actions (same match+priority ⇒ replace).
+        dp.table.write().apply(&FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            10,
+            vec![Action::Output(PortNo(3))],
+        ));
+        vm1.send(probe()).unwrap();
+        pump_with_caches(&dp, &mut caches);
+        assert!(vm2.recv().is_none(), "stale cached action served");
+        assert!(vm3.recv().is_some(), "new action not applied");
     }
 
     #[test]

@@ -182,6 +182,17 @@ impl FlowTable {
         self.classifier.lookup(port, key)
     }
 
+    /// Like [`FlowTable::lookup`], but also returns the staged-unwildcarding
+    /// mask accumulated by the classifier — the widest-safe wildcard under
+    /// which a megaflow entry for this resolution may be installed.
+    pub fn lookup_staged(
+        &self,
+        port: PortNo,
+        key: &packet_wire::FlowKey,
+    ) -> (Option<Arc<RuleEntry>>, openflow::fmatch::MatchMask) {
+        self.classifier.lookup_staged(port, key)
+    }
+
     /// Applies a flow_mod, returning what changed.
     pub fn apply(&mut self, fm: &FlowMod) -> TableChange {
         let fmatch = fm.fmatch.canonicalise();

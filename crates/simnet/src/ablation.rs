@@ -92,6 +92,26 @@ pub fn emc_sweep(n_vms: usize, cost: &CostModel) -> Vec<SweepRow> {
         .collect()
 }
 
+/// Memory-only chain at full EMC miss (cold flows) as the megaflow tier
+/// catches a growing share of the misses — the model-level counterpart of
+/// `highway_bench`'s measured cache-tier ablation. At rate 0.0 every miss
+/// pays the full tuple-space walk (classifier-only); at 1.0 every miss is
+/// absorbed by one wildcard probe (EMC+megaflow).
+pub fn megaflow_sweep(n_vms: usize, cost: &CostModel) -> Vec<SweepRow> {
+    [0.0f64, 0.25, 0.5, 0.75, 0.9, 1.0]
+        .iter()
+        .map(|&rate| {
+            let c = cost.with_pmd_cores(1.0).with_cache_hit_rates(0.0, rate);
+            SweepRow {
+                x: rate,
+                traditional: solve(&ChainSpec::memory(n_vms, Mode::Vanilla), &c).aggregate_mpps,
+                highway: solve(&ChainSpec::memory(n_vms, Mode::Highway), &c).aggregate_mpps,
+                unit: "Mpps",
+            }
+        })
+        .collect()
+}
+
 /// Memory-only chain (N fixed) as the per-packet VNF application cost
 /// grows from the evaluation's trivial forwarder towards DPI-class work.
 pub fn vnf_cost_crossover(n_vms: usize, cost: &CostModel) -> Vec<SweepRow> {
@@ -184,6 +204,22 @@ mod tests {
         assert!(at_zero > at_full * 1.5, "{at_zero:.1} vs {at_full:.1}");
         // Highway is unaffected by EMC quality (it skips the switch).
         assert!((rows[0].highway - rows[5].highway).abs() < 1e-6);
+    }
+
+    #[test]
+    fn megaflow_tier_recovers_classifier_loss() {
+        let rows = megaflow_sweep(4, &cost());
+        // Vanilla throughput rises monotonically as the megaflow catches
+        // more of the misses…
+        for w in rows.windows(2) {
+            assert!(w[1].traditional >= w[0].traditional - 1e-9);
+        }
+        // …strictly: EMC+megaflow beats classifier-only.
+        let classifier_only = rows.first().unwrap();
+        let with_megaflow = rows.last().unwrap();
+        assert!(with_megaflow.traditional > classifier_only.traditional);
+        // The highway skips the switch, so the tier cannot affect it.
+        assert!((classifier_only.highway - with_megaflow.highway).abs() < 1e-6);
     }
 
     #[test]

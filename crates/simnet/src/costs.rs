@@ -25,10 +25,22 @@ pub struct CostModel {
     pub ring_dequeue: f64,
     /// Flow-key extraction + EMC hit inside the switch.
     pub emc_hit: f64,
-    /// Extra cycles when the EMC misses into the tuple-space classifier.
+    /// Extra cycles when the EMC misses but the megaflow (wildcard) cache
+    /// hits: one hash probe per cached mask instead of a classifier walk.
+    pub megaflow_extra: f64,
+    /// Extra cycles when both caches miss into the tuple-space classifier
+    /// (quoted *beyond* the EMC probe, like `megaflow_extra`).
     pub classifier_extra: f64,
     /// EMC hit probability in steady state (chains: stable flows ⇒ ~1.0).
     pub emc_hit_rate: f64,
+    /// Megaflow hit probability *among EMC misses*; cache-tier experiments
+    /// raise it. At the default 0.0 every EMC miss still pays the megaflow
+    /// *probe* (`megaflow_extra`) before the classifier walk — the datapath
+    /// always consults the tier — so EMC-miss costs are `megaflow_extra`
+    /// higher than the pre-megaflow two-tier model. The published-figure
+    /// calibrations are unaffected: they run at the steady state
+    /// `emc_hit_rate = 1.0`, where neither term contributes.
+    pub megaflow_hit_rate: f64,
     /// Executing the matched output action (batched).
     pub ovs_action: f64,
     /// NIC driver rx+tx overhead per packet on a physical port.
@@ -69,8 +81,10 @@ impl CostModel {
             ring_enqueue: 40.0,
             ring_dequeue: 40.0,
             emc_hit: 120.0,
+            megaflow_extra: 150.0,
             classifier_extra: 450.0,
             emc_hit_rate: 1.0,
+            megaflow_hit_rate: 0.0,
             ovs_action: 60.0,
             nic_driver: 70.0,
             vnf_app: 100.0,
@@ -80,12 +94,25 @@ impl CostModel {
         }
     }
 
+    /// Overrides the cache-tier hit rates (EMC overall, megaflow among
+    /// EMC misses) — the knob the cache-tier experiments sweep.
+    pub fn with_cache_hit_rates(mut self, emc: f64, megaflow: f64) -> CostModel {
+        self.emc_hit_rate = emc;
+        self.megaflow_hit_rate = megaflow;
+        self
+    }
+
     /// Switch-side cost of carrying one packet across one seam
     /// (dequeue from source port, classify, act, enqueue to destination).
+    /// Classification walks the tier hierarchy: an EMC miss costs
+    /// `megaflow_extra` if the megaflow catches it, `megaflow_extra +
+    /// classifier_extra` if it falls through to the tuple-space walk.
     pub fn ovs_crossing(&self) -> f64 {
+        let emc_miss = 1.0 - self.emc_hit_rate;
         self.ring_dequeue
             + self.emc_hit
-            + (1.0 - self.emc_hit_rate) * self.classifier_extra
+            + emc_miss
+                * (self.megaflow_extra + (1.0 - self.megaflow_hit_rate) * self.classifier_extra)
             + self.ovs_action
             + self.ring_enqueue
     }
@@ -137,6 +164,27 @@ mod tests {
         let hit = c.ovs_crossing();
         c.emc_hit_rate = 0.0;
         assert!(c.ovs_crossing() > hit + 400.0);
+    }
+
+    #[test]
+    fn megaflow_tier_sits_between_emc_and_classifier() {
+        let emc_only = CostModel::paper_testbed().with_cache_hit_rates(1.0, 0.0);
+        let megaflow = CostModel::paper_testbed().with_cache_hit_rates(0.0, 1.0);
+        let classifier = CostModel::paper_testbed().with_cache_hit_rates(0.0, 0.0);
+        assert!(emc_only.ovs_crossing() < megaflow.ovs_crossing());
+        assert!(megaflow.ovs_crossing() < classifier.ovs_crossing());
+        // A megaflow hit dodges the whole classifier walk.
+        assert!(
+            classifier.ovs_crossing() - megaflow.ovs_crossing()
+                >= classifier.classifier_extra - f64::EPSILON
+        );
+        // At the evaluation's steady state (EMC hit rate 1.0 — every
+        // published figure) the megaflow terms contribute nothing, so the
+        // default crossing cost is exactly the pre-megaflow calibration.
+        assert_eq!(
+            CostModel::paper_testbed().ovs_crossing(),
+            emc_only.ovs_crossing()
+        );
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub mod solver;
 pub mod topology;
 
 pub use ablation::{
-    cores_for_parity, crossover_point, emc_sweep, frame_size_sweep, pmd_core_scaling,
-    vnf_cost_crossover, SweepRow,
+    cores_for_parity, crossover_point, emc_sweep, frame_size_sweep, megaflow_sweep,
+    pmd_core_scaling, vnf_cost_crossover, SweepRow,
 };
 pub use costs::CostModel;
 pub use des::{ChainSim, SimResult};

@@ -109,6 +109,15 @@ fn main() {
     println!("firewall dropped: {dropped}");
     assert_eq!(dropped, sent_blocked);
 
+    // Which cache tier carried the switch-side traffic: steady chains
+    // resolve almost everything in the EMC/megaflow tiers, not the
+    // classifier — the fast-path property the megaflow cache exists for.
+    let cs = node.switch().datapath().cache_stats();
+    println!(
+        "datapath lookups: {} (emc={} megaflow={} classifier={} misses={})",
+        cs.lookups, cs.emc_hits, cs.megaflow_hits, cs.classifier_hits, cs.misses
+    );
+
     node.stop();
     for vm in &dep.vms {
         vm.shutdown();

@@ -1,0 +1,206 @@
+//! Cache-coherence regressions for the three-tier datapath: once a rule is
+//! resolved into the EMC and megaflow caches, *no* control-plane change —
+//! flow_mod modify, flow_mod delete, or a timeout sweep — may let a stale
+//! cached entry serve the old actions. The coverage drives every mutation
+//! through `Ofproto` (the path a real controller takes), then pumps the
+//! PMD data path with the same warm per-PMD caches a running thread holds.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+use vnf_highway::dpdk::{cycles, Mbuf};
+use vnf_highway::openflow::messages::{FlowMod, FlowModCommand, OfpMessage};
+use vnf_highway::ovs::pmd::{Datapath, PmdCaches};
+use vnf_highway::ovs::{Ofproto, OvsPort};
+use vnf_highway::prelude::*;
+use vnf_highway::shmem::ChannelEnd;
+
+struct World {
+    dp: Arc<Datapath>,
+    ofproto: Ofproto,
+    caches: PmdCaches,
+    vm: Vec<ChannelEnd>,
+}
+
+/// Three dpdkr ports (1, 2, 3) with the VM-side channel ends returned in
+/// order, plus warmable per-PMD caches.
+fn three_port_world() -> World {
+    let dp = Datapath::new(false);
+    let ofproto = Ofproto::new(Arc::clone(&dp), 0xc0ffee);
+    let mut vm = Vec::new();
+    for no in 1u16..=3 {
+        let (sw, vm_end) = vnf_highway::shmem::channel(format!("dpdkr{no}"), 64);
+        dp.add_port(OvsPort::dpdkr(PortNo(no), format!("dpdkr{no}"), sw));
+        vm.push(vm_end);
+    }
+    World {
+        dp,
+        ofproto,
+        caches: PmdCaches::new(),
+        vm,
+    }
+}
+
+/// One synchronous burst-batched PMD iteration with the world's caches —
+/// the exact code path `PmdThread::run` drives, minus the thread.
+fn pump(w: &mut World) {
+    let snapshot: Vec<_> = w.dp.ports.read().values().cloned().collect();
+    let mut staged = BTreeMap::new();
+    let now = cycles::now();
+    for port in &snapshot {
+        let mut rx = Vec::new();
+        port.rx_burst(&mut rx, 32);
+        if !rx.is_empty() {
+            w.dp.process_burst(
+                &mut rx,
+                port.no,
+                Some(&mut w.caches),
+                &mut staged,
+                &snapshot,
+                now,
+            );
+        }
+    }
+    w.dp.flush_staged(&mut staged);
+}
+
+fn probe() -> Mbuf {
+    Mbuf::from_slice(&PacketBuilder::udp_probe(64).build())
+}
+
+fn flow_removed_count(ctrl: &vnf_highway::openflow::ControllerHandle) -> usize {
+    let mut n = 0;
+    while let Some(Ok((msg, _xid))) = ctrl.try_recv() {
+        if matches!(msg, OfpMessage::FlowRemoved(_)) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// A flow_mod *modify* through ofproto must invalidate both warm cache
+/// tiers: the very next packet executes the new actions, never the cached
+/// old ones.
+#[test]
+fn flow_mod_modify_invalidates_warm_caches() {
+    let mut w = three_port_world();
+    w.ofproto.apply_flow_mod(&FlowMod::add(
+        FlowMatch::in_port(PortNo(1)),
+        100,
+        vec![Action::Output(PortNo(2))],
+    ));
+
+    // Warm both tiers: two packets — classifier resolution, then EMC hit.
+    for _ in 0..2 {
+        w.vm[0].send(probe()).unwrap();
+        pump(&mut w);
+    }
+    assert!(w.vm[1].recv().is_some() && w.vm[1].recv().is_some());
+    assert!(w.dp.emc_hits.load(std::sync::atomic::Ordering::Relaxed) > 0);
+
+    let mut modify = FlowMod::add(
+        FlowMatch::in_port(PortNo(1)),
+        100,
+        vec![Action::Output(PortNo(3))],
+    );
+    modify.command = FlowModCommand::ModifyStrict;
+    w.ofproto.apply_flow_mod(&modify);
+
+    w.vm[0].send(probe()).unwrap();
+    pump(&mut w);
+    assert!(
+        w.vm[1].recv().is_none(),
+        "stale cached action executed after modify"
+    );
+    assert!(w.vm[2].recv().is_some(), "modified action not applied");
+}
+
+/// A flow_mod *delete* through ofproto must flush the caches too — the
+/// next packet is a genuine miss (dropped under the drop policy), and the
+/// controller hears exactly one FlowRemoved.
+#[test]
+fn flow_mod_delete_invalidates_warm_caches_and_reports_removal() {
+    let mut w = three_port_world();
+    let (ctrl, link) = vnf_highway::openflow::control_link();
+    w.ofproto.attach_controller(link);
+    w.ofproto.apply_flow_mod(&FlowMod::add(
+        FlowMatch::in_port(PortNo(1)),
+        100,
+        vec![Action::Output(PortNo(2))],
+    ));
+
+    for _ in 0..2 {
+        w.vm[0].send(probe()).unwrap();
+        pump(&mut w);
+    }
+    assert!(w.vm[1].recv().is_some() && w.vm[1].recv().is_some());
+
+    w.ofproto.apply_flow_mod(&FlowMod::delete(FlowMatch::any()));
+    assert_eq!(flow_removed_count(&ctrl), 1);
+
+    let drops_before = w.dp.miss_drops.load(std::sync::atomic::Ordering::Relaxed);
+    w.vm[0].send(probe()).unwrap();
+    pump(&mut w);
+    assert!(w.vm[1].recv().is_none(), "cached rule served after delete");
+    assert_eq!(
+        w.dp.miss_drops.load(std::sync::atomic::Ordering::Relaxed),
+        drops_before + 1,
+        "deleted rule's packet must be a real miss"
+    );
+}
+
+/// An idle-timeout expiry through `Ofproto::sweep_timeouts` evicts the
+/// rule from the table *and* from both warm caches, and emits exactly one
+/// FlowRemoved — not one per cache tier, not zero.
+#[test]
+fn idle_timeout_sweep_evicts_cached_rule_and_emits_one_flow_removed() {
+    let mut w = three_port_world();
+    let (ctrl, link) = vnf_highway::openflow::control_link();
+    w.ofproto.attach_controller(link);
+    let mut fm = FlowMod::add(
+        FlowMatch::in_port(PortNo(1)),
+        100,
+        vec![Action::Output(PortNo(2))],
+    );
+    fm.idle_timeout = 1; // seconds
+    w.ofproto.apply_flow_mod(&fm);
+
+    // Warm both tiers.
+    for _ in 0..2 {
+        w.vm[0].send(probe()).unwrap();
+        pump(&mut w);
+    }
+    assert!(w.vm[1].recv().is_some() && w.vm[1].recv().is_some());
+
+    // Not yet idle: the sweep must keep the rule and emit nothing.
+    w.ofproto.sweep_timeouts();
+    assert_eq!(flow_removed_count(&ctrl), 0);
+    assert_eq!(w.dp.table.read().len(), 1);
+
+    // Let the idle clock run out, then sweep.
+    std::thread::sleep(Duration::from_millis(1300));
+    w.ofproto.sweep_timeouts();
+    assert_eq!(
+        flow_removed_count(&ctrl),
+        1,
+        "expiry must emit exactly one FlowRemoved"
+    );
+    assert_eq!(w.dp.table.read().len(), 0);
+
+    // Re-sweeping emits nothing further.
+    w.ofproto.sweep_timeouts();
+    assert_eq!(flow_removed_count(&ctrl), 0);
+
+    // The warm caches must not resurrect the expired rule: the next packet
+    // is a genuine miss in every tier.
+    let stats_before = w.dp.cache_stats();
+    w.vm[0].send(probe()).unwrap();
+    pump(&mut w);
+    let stats_after = w.dp.cache_stats();
+    assert!(
+        w.vm[1].recv().is_none(),
+        "expired rule served from a stale cache entry"
+    );
+    assert_eq!(stats_after.misses, stats_before.misses + 1);
+    assert_eq!(stats_after.matched, stats_before.matched);
+}

@@ -206,6 +206,76 @@ proptest! {
     }
 }
 
+// ---------- cache-tier equivalence (EMC → megaflow → classifier) ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The staged-unwildcarding soundness invariant: for any rule table and
+    /// any packet sequence, a lookup served by the EMC or the megaflow
+    /// cache returns exactly the rule a cold classifier walk — and a
+    /// brute-force best-priority scan — would return. Caches may only
+    /// change cost, never the matched rule. Every probe runs twice so the
+    /// second lookup exercises the warm tiers, and a mid-sequence flow_mod
+    /// exercises generation invalidation.
+    #[test]
+    fn cache_tiers_agree_with_cold_classifier(
+        rules in proptest::collection::vec((flow_match(), 0u16..8), 1..24),
+        probes in proptest::collection::vec((0u16..6, flow_key()), 1..32),
+        mutate_at in 0usize..32,
+        extra in (flow_match(), 0u16..8),
+    ) {
+        use vnf_highway::ovs::pmd::{Datapath, PmdCaches};
+
+        let dp = Datapath::new(false);
+        {
+            let mut table = dp.table.write();
+            for (m, p) in &rules {
+                table.apply(&FlowMod::add(*m, *p, vec![Action::Output(PortNo(1))]));
+            }
+        }
+        let mut caches = PmdCaches::new();
+        for (i, (port, key)) in probes.iter().enumerate() {
+            if i == mutate_at {
+                // A table change mid-stream: both cache tiers must drop
+                // everything resolved under the old generation.
+                dp.table.write().apply(&FlowMod::add(
+                    extra.0,
+                    extra.1,
+                    vec![Action::Output(PortNo(2))],
+                ));
+            }
+            for _round in 0..2 {
+                let (cached, _tier) =
+                    dp.classify(PortNo(*port), key, Some(&mut caches), 1, 64);
+                let (cold, reference) = {
+                    let table = dp.table.read();
+                    let cold = table.lookup(PortNo(*port), key).map(|r| r.id);
+                    let reference = table
+                        .rules()
+                        .iter()
+                        .filter(|r| r.fmatch.matches(PortNo(*port), key))
+                        .max_by(|a, b| {
+                            a.priority
+                                .cmp(&b.priority)
+                                .then(b.id.cmp(&a.id)) // lower id wins ties
+                        })
+                        .map(|r| r.id);
+                    (cold, reference)
+                };
+                prop_assert_eq!(cold, reference, "classifier vs linear scan");
+                prop_assert_eq!(
+                    cached.map(|r| r.id),
+                    reference,
+                    "cache hierarchy diverged from cold walk at probe {} ({:?})",
+                    i,
+                    _tier
+                );
+            }
+        }
+    }
+}
+
 // ---------- detector soundness ----------
 
 proptest! {
