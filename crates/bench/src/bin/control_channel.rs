@@ -1,0 +1,155 @@
+//! Control-channel microbench: flow-mod setup rate over the framed
+//! OpenFlow byte stream, unbatched vs batched, plus echo round-trip time.
+//!
+//! The switch end is a minimal poll loop over a real [`SwitchLink`] —
+//! every message crosses the framer and codec both ways, so the numbers
+//! price the actual wire path (header marshal, 40-byte match, action
+//! TLVs), not a crossbeam channel.
+//!
+//! Emits `BENCH_control_channel.json` for CI trend tracking; `--quick`
+//! bounds the message count. Exits non-zero if batching is not at least
+//! as fast as one-write-per-mod — the batching path exists to be cheaper,
+//! and a regression should fail loudly.
+
+use openflow::messages::{FlowMod, OfpMessage};
+use openflow::{framed_link, Action, Connection, FlowMatch, PortNo, SwitchLink};
+use std::time::{Duration, Instant};
+
+const BATCH: usize = 64;
+
+/// The switch side: answer the handshake, echo requests and barriers;
+/// count flow mods. Returns when the controller hangs up.
+fn switch_loop(sw: SwitchLink) -> u64 {
+    let mut flow_mods = 0u64;
+    loop {
+        match sw.try_recv() {
+            Some(Ok((msg, xid))) => {
+                let reply = match msg {
+                    OfpMessage::Hello => Some(OfpMessage::Hello),
+                    OfpMessage::FeaturesRequest => Some(OfpMessage::FeaturesReply {
+                        datapath_id: 0xbe,
+                        ports: vec![1, 2],
+                    }),
+                    OfpMessage::EchoRequest(d) => Some(OfpMessage::EchoReply(d)),
+                    OfpMessage::BarrierRequest => Some(OfpMessage::BarrierReply),
+                    OfpMessage::FlowMod(_) => {
+                        flow_mods += 1;
+                        None
+                    }
+                    _ => None,
+                };
+                if let Some(r) = reply {
+                    if sw.send(&r, xid).is_err() {
+                        return flow_mods;
+                    }
+                }
+            }
+            Some(Err(_)) => return flow_mods,
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+fn mods(n: usize) -> Vec<FlowMod> {
+    (0..n)
+        .map(|i| {
+            FlowMod::add(
+                FlowMatch::in_port(PortNo((i % 1000) as u16 + 1)),
+                100,
+                vec![Action::Output(PortNo((i % 48) as u16 + 1))],
+            )
+            .with_cookie(i as u64)
+        })
+        .collect()
+}
+
+/// Installs `n` flow mods and fences with a barrier; returns mods/s.
+fn setup_rate(ctrl: &Connection, n: usize, batched: bool) -> f64 {
+    let work = mods(n);
+    let start = Instant::now();
+    if batched {
+        for chunk in work.chunks(BATCH) {
+            ctrl.send_flow_mods(chunk).expect("batched send");
+        }
+    } else {
+        for m in &work {
+            ctrl.send(&OfpMessage::FlowMod(m.clone())).expect("send");
+        }
+    }
+    ctrl.barrier(Duration::from_secs(30)).expect("barrier");
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+fn echo_rtt_us(ctrl: &Connection, probes: usize) -> f64 {
+    let mut us: Vec<f64> = (0..probes)
+        .map(|i| {
+            let payload = vec![i as u8; 8];
+            let start = Instant::now();
+            let reply = ctrl
+                .request_reply(
+                    &OfpMessage::EchoRequest(payload.clone()),
+                    Duration::from_secs(5),
+                )
+                .expect("echo");
+            assert_eq!(reply, OfpMessage::EchoReply(payload));
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    us.sort_by(|a, b| a.total_cmp(b));
+    us[us.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, probes) = if quick { (5_000, 200) } else { (50_000, 2_000) };
+
+    let (ctrl, sw) = framed_link();
+    let switch = std::thread::spawn(move || switch_loop(sw));
+    ctrl.handshake(Duration::from_secs(5)).expect("handshake");
+
+    // Interleave a warmup of each shape before timing either.
+    setup_rate(&ctrl, n / 10, false);
+    setup_rate(&ctrl, n / 10, true);
+
+    let unbatched = setup_rate(&ctrl, n, false);
+    let batched = setup_rate(&ctrl, n, true);
+    let rtt_us = echo_rtt_us(&ctrl, probes);
+
+    drop(ctrl);
+    let seen = switch.join().expect("switch thread");
+    assert!(
+        seen >= (2 * n + 2 * n / 10) as u64,
+        "switch saw {seen} flow mods, expected at least {}",
+        2 * n + 2 * n / 10
+    );
+
+    println!(
+        "## Control channel — flow-mod setup rate over the framed wire [measured{}]\n",
+        if quick { ", quick" } else { "" }
+    );
+    println!("| path | mods/s |");
+    println!("|---|---|");
+    println!("| one write per flow_mod | {unbatched:.0} |");
+    println!("| batched ({BATCH}/write) | {batched:.0} |");
+    println!("\nbatching speedup: {:.2}x", batched / unbatched);
+    println!("echo RTT p50: {rtt_us:.1} us");
+
+    let json = format!(
+        "{{\n  \"bench\": \"control_channel\",\n  \"quick\": {quick},\n  \
+         \"messages\": {n},\n  \"batch_size\": {BATCH},\n  \
+         \"unbatched_mods_per_sec\": {unbatched:.0},\n  \
+         \"batched_mods_per_sec\": {batched:.0},\n  \
+         \"echo_rtt_us_p50\": {rtt_us:.2}\n}}\n"
+    );
+    std::fs::write("BENCH_control_channel.json", json).expect("write BENCH_control_channel.json");
+    println!("\nwrote BENCH_control_channel.json");
+
+    // Acceptance: batching a write must not be slower than not batching.
+    // (Generous margin: the two paths share the codec cost; the gap is
+    // per-write locking and wakeups.)
+    assert!(
+        batched >= 0.9 * unbatched,
+        "flow-mod batching regression: batched {batched:.0}/s vs unbatched {unbatched:.0}/s"
+    );
+    println!("control-channel bench OK");
+}

@@ -1,0 +1,155 @@
+//! Built-in controller applications for the highway node.
+//!
+//! [`ChainSteering`] is the reproduction's "ordinary OpenFlow controller":
+//! it knows nothing about the highway and simply installs the service-chain
+//! steering rules (`in_port → output`) the paper's §2 scenario assumes. It
+//! runs behind the same [`ControllerApp`] trait as any other app (e.g. the
+//! ported learning switch), so one byte-identical OpenFlow stream can drive
+//! either.
+
+use openflow::{
+    Action, Connection, ControllerApp, FlowMatch, FlowMod, OfpMessage, PortNo, SwitchFeatures,
+};
+
+/// One steering seam of a service chain: everything entering `from` is
+/// forwarded out of `to`, tagged with `cookie` for later stats lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seam {
+    pub from: PortNo,
+    pub to: PortNo,
+    pub cookie: u64,
+}
+
+impl Seam {
+    /// A seam with an auto-derived cookie (`0x100 + index` convention used
+    /// throughout the examples).
+    pub fn new(index: usize, from: PortNo, to: PortNo) -> Seam {
+        Seam {
+            from,
+            to,
+            cookie: 0x100 + index as u64,
+        }
+    }
+}
+
+/// The built-in highway controller app: installs a fixed set of
+/// point-to-point steering rules whenever the connection (re)reaches the
+/// ready state, batched into one write and fenced by an asynchronous
+/// barrier.
+pub struct ChainSteering {
+    seams: Vec<Seam>,
+    priority: u16,
+    barrier_xid: Option<u32>,
+    settled: bool,
+    connects: u64,
+    packet_ins: u64,
+}
+
+impl ChainSteering {
+    /// A steering app for the given chain seams at flow priority 100.
+    pub fn new(seams: Vec<Seam>) -> ChainSteering {
+        ChainSteering {
+            seams,
+            priority: 100,
+            barrier_xid: None,
+            settled: false,
+            connects: 0,
+            packet_ins: 0,
+        }
+    }
+
+    /// Builds the chain from consecutive `(from, to)` port pairs.
+    pub fn from_pairs(pairs: &[(u16, u16)]) -> ChainSteering {
+        ChainSteering::new(
+            pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(f, t))| Seam::new(i, PortNo(f), PortNo(t)))
+                .collect(),
+        )
+    }
+
+    /// True once the switch has acknowledged (via barrier reply) that every
+    /// steering rule of the latest (re)connect is committed.
+    pub fn settled(&self) -> bool {
+        self.settled
+    }
+
+    /// How many times the app has pushed its rule set (1 + reconnects).
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Packet-ins observed (the steering chain should produce none once
+    /// settled — the counter is a canary for missing rules).
+    pub fn packet_ins(&self) -> u64 {
+        self.packet_ins
+    }
+
+    fn flow_mods(&self) -> Vec<FlowMod> {
+        self.seams
+            .iter()
+            .map(|s| {
+                FlowMod::add(
+                    FlowMatch::in_port(s.from),
+                    self.priority,
+                    vec![Action::Output(s.to)],
+                )
+                .with_cookie(s.cookie)
+            })
+            .collect()
+    }
+}
+
+impl ControllerApp for ChainSteering {
+    fn on_connected(&mut self, conn: &Connection, _features: &SwitchFeatures) {
+        self.connects += 1;
+        self.settled = false;
+        let mods = self.flow_mods();
+        if conn.send_flow_mods(&mods).is_err() {
+            return; // disconnected again; the next reconnect retries
+        }
+        // Fence asynchronously: the reply lands in on_message, so the
+        // runtime's poll loop is never blocked on the switch.
+        self.barrier_xid = conn.send(&OfpMessage::BarrierRequest).ok();
+    }
+
+    fn on_message(&mut self, _conn: &Connection, msg: OfpMessage, xid: u32) {
+        match msg {
+            OfpMessage::BarrierReply if Some(xid) == self.barrier_xid => {
+                self.barrier_xid = None;
+                self.settled = true;
+            }
+            OfpMessage::PacketIn(_) => self.packet_ins += 1,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{HighwayNode, HighwayNodeConfig};
+    use openflow::ControllerRuntime;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn chain_steering_installs_rules_and_settles() {
+        let node = HighwayNode::new(HighwayNodeConfig::default());
+        node.start();
+        let conn = node.connect_controller();
+        let app = ChainSteering::from_pairs(&[(1, 2), (3, 4)]);
+        let mut rt = ControllerRuntime::new(conn, app);
+        rt.run_until_ready(Duration::from_secs(5)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !rt.app().settled() && Instant::now() < deadline {
+            rt.poll();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(rt.app().settled(), "barrier reply never arrived");
+        assert_eq!(rt.app().connects(), 1);
+        let stats = rt.connection().flow_stats(Duration::from_secs(2)).unwrap();
+        assert_eq!(stats.len(), 2);
+        node.stop();
+    }
+}

@@ -28,6 +28,7 @@
 //!   every bypass lifecycle step, with live subscriptions; the setup-time
 //!   experiment and the failure-injection tests read it.
 
+pub mod apps;
 pub mod detector;
 pub mod events;
 pub mod manager;
@@ -35,6 +36,7 @@ pub mod node;
 pub mod policy;
 pub mod stats;
 
+pub use apps::{ChainSteering, Seam};
 pub use detector::{detect_p2p_links, P2pLink};
 pub use events::{BypassEvent, BypassEventKind, EventJournal};
 pub use manager::{HighwayManager, LinkState, SetupRecord};

@@ -11,7 +11,7 @@ use crate::events::EventJournal;
 use crate::manager::{HighwayManager, SetupRecord};
 use crate::policy::AccelerationPolicy;
 use crate::stats::HighwayStatsAugmenter;
-use openflow::{control_link, ControllerHandle};
+use openflow::{framed_link, Connection, SwitchLink};
 use ovs_dp::{VSwitchd, VSwitchdConfig};
 use shmem_sim::{ShmRegistry, StatsRegion};
 use std::sync::Arc;
@@ -152,12 +152,25 @@ impl HighwayNode {
         }
     }
 
-    /// Creates a controller, attaches it to the switch and returns the
-    /// controller-side handle.
-    pub fn connect_controller(&self) -> ControllerHandle {
-        let (ctrl, link) = control_link();
+    /// Creates a controller connection over an in-process framed byte
+    /// stream, attaches the switch end and returns the controller end.
+    /// The OF 1.0 handshake is in flight when this returns; the switch
+    /// answers it on its housekeeping loop.
+    pub fn connect_controller(&self) -> Connection {
+        let (conn, link) = framed_link();
         self.switch.attach_controller(link);
-        ctrl
+        conn
+    }
+
+    /// Re-attaches a controller connection after its transport died (a
+    /// controller restart): a fresh in-process stream replaces the dead
+    /// one on both sides, the connection re-handshakes and replays any
+    /// flow mods a barrier never acknowledged.
+    pub fn reconnect_controller(&self, conn: &Connection) {
+        let (c_end, s_end) = openflow::loopback();
+        self.switch
+            .attach_controller(SwitchLink::new(Box::new(s_end)));
+        conn.reconnect(Box::new(c_end));
     }
 
     /// Registers a VM with the compute agent so its ports can be bypassed.

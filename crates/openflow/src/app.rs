@@ -1,0 +1,302 @@
+//! Controller applications over the framed channel.
+//!
+//! A [`ControllerApp`] is the logic half of a controller: it reacts to the
+//! switch connecting and to asynchronous messages, issuing requests through
+//! the [`Connection`] it is handed. [`ControllerRuntime`] is the event loop
+//! half — it drives the handshake, delivers messages and re-announces the
+//! switch after a reconnect. The split is what makes the channel API
+//! controller-agnostic: the built-in highway steering controller and the
+//! [`LearningSwitch`] ported from `rust_ofp` run over byte-identical
+//! streams through exactly this interface.
+
+use crate::connection::{Connection, ConnectionState, SwitchFeatures};
+use crate::messages::{FlowMod, OfpMessage, PacketIn};
+use crate::types::PortNo;
+use crate::{Action, FlowMatch, Result};
+use packet_wire::{EthernetFrame, MacAddr};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A controller application: policy over a [`Connection`].
+pub trait ControllerApp: Send {
+    /// Called once per completed handshake — including after each
+    /// reconnect — with the switch's advertised features.
+    fn on_connected(&mut self, conn: &Connection, features: &SwitchFeatures);
+
+    /// Called for every asynchronous or unclaimed message.
+    fn on_message(&mut self, conn: &Connection, msg: OfpMessage, xid: u32);
+}
+
+/// Drives one [`ControllerApp`] over one [`Connection`].
+pub struct ControllerRuntime<A: ControllerApp> {
+    conn: Connection,
+    app: A,
+    announced: bool,
+}
+
+impl<A: ControllerApp> ControllerRuntime<A> {
+    /// Binds `app` to a connection (whose handshake is already in flight).
+    pub fn new(conn: Connection, app: A) -> ControllerRuntime<A> {
+        ControllerRuntime {
+            conn,
+            app,
+            announced: false,
+        }
+    }
+
+    /// The underlying connection, for direct requests alongside the app.
+    pub fn connection(&self) -> &Connection {
+        &self.conn
+    }
+
+    /// The application, for inspecting its state in tests.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// One scheduling round: advance the handshake, announce the switch to
+    /// the app when it completes, deliver queued messages. Returns how
+    /// many messages the app saw.
+    pub fn poll(&mut self) -> usize {
+        if !self.announced && self.conn.state() == ConnectionState::Ready {
+            let features = self.conn.features().expect("Ready implies features");
+            self.app.on_connected(&self.conn, &features);
+            self.announced = true;
+        }
+        let mut delivered = 0;
+        while let Some(res) = self.conn.try_recv() {
+            let Ok((msg, xid)) = res else { break };
+            self.app.on_message(&self.conn, msg, xid);
+            delivered += 1;
+            if self.announced && self.conn.state() != ConnectionState::Ready {
+                break;
+            }
+        }
+        delivered
+    }
+
+    /// Polls until the handshake completes and the app has been announced.
+    pub fn run_until_ready(&mut self, timeout: Duration) -> Result<()> {
+        self.conn.handshake(timeout)?;
+        self.poll();
+        Ok(())
+    }
+
+    /// Moves the session to a fresh transport (controller restart): the
+    /// connection re-handshakes and replays un-barriered flow mods, and the
+    /// app is announced again on the next [`ControllerRuntime::poll`].
+    pub fn reconnect(&mut self, transport: Box<dyn crate::transport::Transport>) {
+        self.conn.reconnect(transport);
+        self.announced = false;
+    }
+}
+
+/// `rust_ofp`'s learning switch, ported to the [`ControllerApp`] API.
+///
+/// Learns the source MAC of every packet-in against its ingress port.
+/// Once both endpoints of a conversation are known it installs the flow in
+/// both directions (so the reply path is covered before the reply leaves)
+/// and re-injects the packet; until then it floods.
+pub struct LearningSwitch {
+    known: HashMap<MacAddr, PortNo>,
+    priority: u16,
+    installed: u64,
+}
+
+impl Default for LearningSwitch {
+    fn default() -> LearningSwitch {
+        LearningSwitch::new()
+    }
+}
+
+impl LearningSwitch {
+    pub fn new() -> LearningSwitch {
+        LearningSwitch {
+            known: HashMap::new(),
+            priority: 10,
+            installed: 0,
+        }
+    }
+
+    /// The learned MAC → port table.
+    pub fn known_hosts(&self) -> &HashMap<MacAddr, PortNo> {
+        &self.known
+    }
+
+    /// How many flow-mod pairs this app has installed.
+    pub fn flows_installed(&self) -> u64 {
+        self.installed
+    }
+
+    fn learning_packet_in(&mut self, conn: &Connection, pi: &PacketIn) {
+        let Ok(frame) = EthernetFrame::new_checked(&pi.data[..]) else {
+            return; // not Ethernet; nothing to learn
+        };
+        let src = frame.src_addr();
+        let dst = frame.dst_addr();
+        if !src.is_multicast() {
+            self.known.insert(src, pi.in_port);
+        }
+        match (!dst.is_multicast())
+            .then(|| self.known.get(&dst))
+            .flatten()
+        {
+            Some(&out_port) => {
+                // Both directions in one batched write, then re-inject the
+                // triggering packet so it is not lost while rules settle.
+                let fwd = FlowMod::add(
+                    FlowMatch::eth_pair(src, dst),
+                    self.priority,
+                    vec![Action::Output(out_port)],
+                );
+                let rev = FlowMod::add(
+                    FlowMatch::eth_pair(dst, src),
+                    self.priority,
+                    vec![Action::Output(pi.in_port)],
+                );
+                if conn.send_flow_mods(&[fwd, rev]).is_ok() {
+                    self.installed += 2;
+                }
+                let _ = conn.packet_out(pi.data.clone(), vec![Action::Output(out_port)]);
+            }
+            None => {
+                let _ = conn.packet_out(pi.data.clone(), vec![Action::Output(PortNo::FLOOD)]);
+            }
+        }
+    }
+}
+
+impl ControllerApp for LearningSwitch {
+    fn on_connected(&mut self, _conn: &Connection, _features: &SwitchFeatures) {
+        // A restarted learning switch relearns from scratch; stale entries
+        // from the previous session would steer into moved hosts.
+        self.known.clear();
+    }
+
+    fn on_message(&mut self, conn: &Connection, msg: OfpMessage, _xid: u32) {
+        if let OfpMessage::PacketIn(pi) = msg {
+            self.learning_packet_in(conn, &pi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{framed_link, SwitchLink};
+    use packet_wire::PacketBuilder;
+
+    fn answer_control(sw: &SwitchLink) -> Vec<(OfpMessage, u32)> {
+        let mut unhandled = Vec::new();
+        while let Some(Ok((msg, xid))) = sw.try_recv() {
+            match msg {
+                OfpMessage::Hello => sw.send(&OfpMessage::Hello, xid).unwrap(),
+                OfpMessage::FeaturesRequest => sw
+                    .send(
+                        &OfpMessage::FeaturesReply {
+                            datapath_id: 7,
+                            ports: vec![1, 2],
+                        },
+                        xid,
+                    )
+                    .unwrap(),
+                other => unhandled.push((other, xid)),
+            }
+        }
+        unhandled
+    }
+
+    fn packet(src: MacAddr, dst: MacAddr) -> Vec<u8> {
+        PacketBuilder::udp_probe(64).eth(src, dst).build()
+    }
+
+    #[test]
+    fn learning_switch_floods_then_installs_both_directions() {
+        let (conn, sw) = framed_link();
+        answer_control(&sw);
+        let mut rt = ControllerRuntime::new(conn, LearningSwitch::new());
+        rt.run_until_ready(Duration::from_secs(1)).unwrap();
+
+        let a = MacAddr::local(1);
+        let b = MacAddr::local(2);
+
+        // a → b: b unknown, expect a flood and a learned entry for a.
+        sw.send(
+            &OfpMessage::PacketIn(PacketIn {
+                in_port: PortNo(1),
+                reason: crate::messages::PacketInReason::NoMatch,
+                data: packet(a, b),
+            }),
+            0,
+        )
+        .unwrap();
+        rt.poll();
+        let out = answer_control(&sw);
+        assert_eq!(out.len(), 1);
+        match &out[0].0 {
+            OfpMessage::PacketOut(po) => {
+                assert_eq!(po.actions, vec![Action::Output(PortNo::FLOOD)])
+            }
+            other => panic!("expected flood packet-out, got {other:?}"),
+        }
+        assert_eq!(rt.app().known_hosts().get(&a), Some(&PortNo(1)));
+
+        // b → a: both known now — two flow mods + a directed packet-out.
+        sw.send(
+            &OfpMessage::PacketIn(PacketIn {
+                in_port: PortNo(2),
+                reason: crate::messages::PacketInReason::NoMatch,
+                data: packet(b, a),
+            }),
+            0,
+        )
+        .unwrap();
+        rt.poll();
+        let out = answer_control(&sw);
+        let flow_mods: Vec<&FlowMod> = out
+            .iter()
+            .filter_map(|(m, _)| match m {
+                OfpMessage::FlowMod(fm) => Some(fm),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flow_mods.len(), 2);
+        assert_eq!(flow_mods[0].actions, vec![Action::Output(PortNo(1))]);
+        assert_eq!(flow_mods[1].actions, vec![Action::Output(PortNo(2))]);
+        assert!(out.iter().any(|(m, _)| matches!(
+            m,
+            OfpMessage::PacketOut(po) if po.actions == vec![Action::Output(PortNo(1))]
+        )));
+        assert_eq!(rt.app().flows_installed(), 2);
+    }
+
+    #[test]
+    fn runtime_reannounces_after_reconnect() {
+        struct Counting {
+            connects: usize,
+        }
+        impl ControllerApp for Counting {
+            fn on_connected(&mut self, _c: &Connection, _f: &SwitchFeatures) {
+                self.connects += 1;
+            }
+            fn on_message(&mut self, _c: &Connection, _m: OfpMessage, _x: u32) {}
+        }
+
+        let (conn, sw) = framed_link();
+        answer_control(&sw);
+        let mut rt = ControllerRuntime::new(conn, Counting { connects: 0 });
+        rt.run_until_ready(Duration::from_secs(1)).unwrap();
+        assert_eq!(rt.app().connects, 1);
+
+        drop(sw);
+        let _ = rt.connection().try_recv(); // notice the disconnect
+
+        let (c2, s2) = crate::transport::loopback();
+        rt.reconnect(Box::new(c2));
+        let sw2 = SwitchLink::new(Box::new(s2));
+        answer_control(&sw2);
+        rt.connection().handshake(Duration::from_secs(1)).unwrap();
+        rt.poll();
+        assert_eq!(rt.app().connects, 2);
+    }
+}

@@ -11,15 +11,15 @@ use crate::action::Action;
 use crate::fmatch::FlowMatch;
 use crate::messages::*;
 use crate::types::PortNo;
+use crate::wire::{OfpHeader, OfpMarshal};
 use crate::{OfError, Result};
 use bytes::{Buf, BufMut};
 use packet_wire::MacAddr;
 use std::net::Ipv4Addr;
 
-/// Protocol version byte for OpenFlow 1.0.
-pub const OFP_VERSION: u8 = 0x01;
+pub use crate::wire::OFP_VERSION;
 /// Size of the common header.
-pub const HEADER_LEN: usize = 8;
+pub const HEADER_LEN: usize = OfpHeader::SIZE;
 /// Size of the OF 1.0 `ofp_match`.
 pub const MATCH_LEN: usize = 40;
 
@@ -215,6 +215,9 @@ fn get_actions(buf: &mut &[u8], mut len: usize) -> Result<Vec<Action>> {
                 actions.push(Action::Output(PortNo(port)));
             }
             1 => {
+                if body_len < 2 {
+                    return Err(OfError::BadLength);
+                }
                 let v = buf.get_u16();
                 buf.advance(body_len - 2);
                 actions.push(Action::SetVlanId(v));
@@ -249,11 +252,17 @@ fn get_actions(buf: &mut &[u8], mut len: usize) -> Result<Vec<Action>> {
                 });
             }
             8 => {
+                if body_len < 1 {
+                    return Err(OfError::BadLength);
+                }
                 let t = buf.get_u8();
                 buf.advance(body_len - 1);
                 actions.push(Action::SetIpTos(t));
             }
             9 | 10 => {
+                if body_len < 2 {
+                    return Err(OfError::BadLength);
+                }
                 let p = buf.get_u16();
                 buf.advance(body_len - 2);
                 actions.push(if ty == 9 {
@@ -316,7 +325,14 @@ fn put_phy_port(body: &mut Vec<u8>, port_no: u16, name: &str, down: bool) {
 }
 
 /// Encodes a message with the given transaction id into OF 1.0 bytes.
+///
+/// Thin wrapper over [`OfpMarshal::marshal`], kept for call-site brevity.
 pub fn encode(msg: &OfpMessage, xid: u32) -> Vec<u8> {
+    msg.marshal(xid)
+}
+
+/// Marshals only the message body (the bytes after the common header).
+fn encode_body(msg: &OfpMessage) -> Vec<u8> {
     let mut body = Vec::with_capacity(64);
     match msg {
         OfpMessage::Hello
@@ -517,33 +533,95 @@ pub fn encode(msg: &OfpMessage, xid: u32) -> Vec<u8> {
             put_fixed_str(&mut body, &d.datapath, 256);
         }
     }
+    body
+}
 
-    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
-    out.put_u8(OFP_VERSION);
-    out.put_u8(msg.type_id());
-    out.put_u16((HEADER_LEN + body.len()) as u16);
-    out.put_u32(xid);
-    out.extend_from_slice(&body);
-    out
+impl OfpMarshal for OfpMessage {
+    /// Analytic wire size — must agree byte-for-byte with [`OfpMarshal::marshal`]
+    /// (the generated round-trip tests enforce this per message type).
+    fn size_of(&self) -> usize {
+        let body = match self {
+            OfpMessage::Hello
+            | OfpMessage::FeaturesRequest
+            | OfpMessage::BarrierRequest
+            | OfpMessage::BarrierReply => 0,
+            OfpMessage::EchoRequest(d) | OfpMessage::EchoReply(d) => d.len(),
+            OfpMessage::Error { .. } => 4,
+            OfpMessage::FeaturesReply { ports, .. } => 24 + 48 * ports.len(),
+            OfpMessage::FlowMod(fm) => MATCH_LEN + 24 + actions_wire_len(&fm.actions),
+            OfpMessage::PacketIn(pi) => 10 + pi.data.len(),
+            OfpMessage::PacketOut(po) => 8 + actions_wire_len(&po.actions) + po.data.len(),
+            OfpMessage::FlowRemoved(_) => MATCH_LEN + 40,
+            OfpMessage::FlowStatsRequest(_) => 4 + MATCH_LEN + 4,
+            OfpMessage::FlowStatsReply(entries) => {
+                4 + entries
+                    .iter()
+                    .map(|e| 88 + actions_wire_len(&e.actions))
+                    .sum::<usize>()
+            }
+            OfpMessage::PortStatsRequest(_) => 12,
+            OfpMessage::PortStatsReply(entries) => 4 + 104 * entries.len(),
+            OfpMessage::PortMod(_) => 24,
+            OfpMessage::PortStatus(_) => 56,
+            OfpMessage::AggregateStatsRequest(_) => 4 + MATCH_LEN + 4,
+            OfpMessage::AggregateStatsReply(_) => 28,
+            OfpMessage::TableStatsRequest => 4,
+            OfpMessage::TableStatsReply(entries) => 4 + 64 * entries.len(),
+            OfpMessage::DescStatsRequest => 4,
+            OfpMessage::DescStatsReply(_) => 4 + 256 * 4 + 32,
+        };
+        HEADER_LEN + body
+    }
+
+    fn header_of(&self, xid: u32) -> OfpHeader {
+        OfpHeader::new(OFP_VERSION, self.type_id(), self.size_of() as u16, xid)
+    }
+
+    fn marshal(&self, xid: u32) -> Vec<u8> {
+        let body = encode_body(self);
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+        OfpHeader::new(
+            OFP_VERSION,
+            self.type_id(),
+            (HEADER_LEN + body.len()) as u16,
+            xid,
+        )
+        .marshal(&mut out);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn parse(header: &OfpHeader, body: &[u8]) -> Result<(OfpMessage, u32)> {
+        if header.version != OFP_VERSION {
+            return Err(OfError::BadVersion(header.version));
+        }
+        if header.length() != HEADER_LEN + body.len() {
+            return Err(OfError::BadLength);
+        }
+        let msg = parse_body(header.typ, body)?;
+        Ok((msg, header.xid))
+    }
 }
 
 /// Decodes one OF 1.0 message; returns it with its transaction id.
+///
+/// Thin wrapper over [`OfpMarshal::parse`] for a single complete frame;
+/// the byte-stream path cuts frames with [`crate::framer::Framer`] first.
 pub fn decode(data: &[u8]) -> Result<(OfpMessage, u32)> {
-    if data.len() < HEADER_LEN {
-        return Err(OfError::Truncated);
+    let header = OfpHeader::parse(data)?;
+    if header.version != OFP_VERSION {
+        return Err(OfError::BadVersion(header.version));
     }
-    let mut buf = data;
-    let version = buf.get_u8();
-    if version != OFP_VERSION {
-        return Err(OfError::Unknown(format!("version {version}")));
-    }
-    let ty = buf.get_u8();
-    let total = usize::from(buf.get_u16());
-    let xid = buf.get_u32();
-    if total != data.len() {
+    if header.length() != data.len() {
         return Err(OfError::BadLength);
     }
-    let body_len = total - HEADER_LEN;
+    OfpMessage::parse(&header, &data[HEADER_LEN..])
+}
+
+/// Parses a message body given its already-framed header type.
+fn parse_body(ty: u8, body: &[u8]) -> Result<OfpMessage> {
+    let mut buf = body;
+    let body_len = body.len();
 
     let msg = match ty {
         0 => OfpMessage::Hello,
@@ -872,7 +950,7 @@ pub fn decode(data: &[u8]) -> Result<(OfpMessage, u32)> {
         19 => OfpMessage::BarrierReply,
         other => return Err(OfError::Unknown(format!("message type {other}"))),
     };
-    Ok((msg, xid))
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -1077,14 +1155,168 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(decode(&[]).unwrap_err(), OfError::Truncated);
-        assert!(matches!(
+        assert_eq!(
             decode(&[0x04, 0, 0, 8, 0, 0, 0, 0]).unwrap_err(),
-            OfError::Unknown(_)
-        ));
+            OfError::BadVersion(0x04)
+        );
         // Length field disagreeing with the buffer.
         let mut bytes = encode(&OfpMessage::Hello, 1);
         bytes.push(0);
         assert_eq!(decode(&bytes).unwrap_err(), OfError::BadLength);
+    }
+
+    #[test]
+    fn truncated_action_bodies_error_instead_of_panicking() {
+        // A FlowMod whose action list ends in a TLV that claims alen=4 for
+        // a type that needs a body (SetVlanId) — previously a panic.
+        for (ty, alen) in [(1u16, 4u16), (8, 4), (9, 4), (10, 4), (1, 5)] {
+            let mut bytes = encode(
+                &OfpMessage::FlowMod(FlowMod::add(FlowMatch::any(), 1, vec![])),
+                1,
+            );
+            bytes.extend_from_slice(&ty.to_be_bytes());
+            bytes.extend_from_slice(&alen.to_be_bytes());
+            bytes.extend(std::iter::repeat(0u8).take(usize::from(alen) - 4));
+            let total = bytes.len() as u16;
+            bytes[2..4].copy_from_slice(&total.to_be_bytes());
+            assert!(decode(&bytes).is_err(), "type {ty} alen {alen}");
+        }
+    }
+
+    /// Generates one `OfpMarshal` round-trip test per message type:
+    /// `size_of` must agree with `marshal`'s byte count, `header_of` with the
+    /// marshalled header, and `parse` must return the original message.
+    macro_rules! marshal_roundtrip {
+        ($($name:ident => $msg:expr;)+) => {
+            $(
+                #[test]
+                fn $name() {
+                    let msg: OfpMessage = $msg;
+                    let xid = 0x0f00_0000 + line!();
+                    let bytes = msg.marshal(xid);
+                    assert_eq!(msg.size_of(), bytes.len(), "size_of vs marshal");
+                    let header = msg.header_of(xid);
+                    assert_eq!(header.typ, msg.type_id());
+                    assert_eq!(header.length(), bytes.len());
+                    assert_eq!(header.xid, xid);
+                    let parsed = OfpHeader::parse(&bytes).unwrap();
+                    assert_eq!(parsed, header);
+                    let (decoded, got_xid) =
+                        OfpMessage::parse(&parsed, &bytes[HEADER_LEN..]).unwrap();
+                    assert_eq!(got_xid, xid);
+                    assert_eq!(decoded, msg);
+                }
+            )+
+        };
+    }
+
+    marshal_roundtrip! {
+        marshal_hello => OfpMessage::Hello;
+        marshal_error => OfpMessage::Error { err_type: 1, code: 2 };
+        marshal_echo_request => OfpMessage::EchoRequest(vec![9, 8, 7]);
+        marshal_echo_reply => OfpMessage::EchoReply(vec![]);
+        marshal_features_request => OfpMessage::FeaturesRequest;
+        marshal_features_reply => OfpMessage::FeaturesReply {
+            datapath_id: 0x42,
+            ports: vec![1, 2, 7],
+        };
+        marshal_packet_in => OfpMessage::PacketIn(PacketIn {
+            in_port: PortNo(3),
+            reason: PacketInReason::Action,
+            data: vec![0xab; 33],
+        });
+        marshal_flow_removed => OfpMessage::FlowRemoved(FlowRemoved {
+            fmatch: FlowMatch::in_port(PortNo(1)),
+            priority: 5,
+            cookie: 77,
+            packet_count: 4,
+            byte_count: 256,
+        });
+        marshal_port_status => OfpMessage::PortStatus(PortStatus {
+            reason: PortStatusReason::Modify,
+            port_no: 4,
+            name: "dpdkr4".into(),
+            down: true,
+        });
+        marshal_packet_out => OfpMessage::PacketOut(PacketOut {
+            in_port: PortNo(1),
+            actions: vec![Action::Output(PortNo(2)), Action::SetVlanId(9)],
+            data: vec![0x11; 60],
+        });
+        marshal_flow_mod => OfpMessage::FlowMod(
+            FlowMod::add(
+                FlowMatch::in_port(PortNo(9)),
+                500,
+                vec![
+                    Action::SetEthDst(MacAddr::local(3)),
+                    Action::Output(PortNo(10)),
+                ],
+            )
+            .with_cookie(0xc0de),
+        );
+        marshal_port_mod => OfpMessage::PortMod(PortMod {
+            port_no: PortNo(6),
+            down: false,
+        });
+        marshal_flow_stats_request => OfpMessage::FlowStatsRequest(FlowStatsRequest {
+            fmatch: FlowMatch::any(),
+            out_port: PortNo::NONE,
+        });
+        marshal_flow_stats_reply => OfpMessage::FlowStatsReply(vec![FlowStatsEntry {
+            fmatch: FlowMatch::in_port(PortNo(2)),
+            priority: 9,
+            cookie: 3,
+            duration_sec: 1,
+            idle_timeout: 0,
+            hard_timeout: 60,
+            packet_count: 5,
+            byte_count: 320,
+            actions: vec![Action::StripVlan, Action::Output(PortNo(4))],
+        }]);
+        marshal_port_stats_request => OfpMessage::PortStatsRequest(PortStatsRequest {
+            port_no: PortNo(2),
+        });
+        marshal_port_stats_reply => OfpMessage::PortStatsReply(vec![
+            PortStatsEntry::default(),
+            PortStatsEntry {
+                port_no: 8,
+                rx_packets: 10,
+                tx_packets: 20,
+                rx_bytes: 640,
+                tx_bytes: 1280,
+                rx_dropped: 1,
+                tx_dropped: 2,
+            },
+        ]);
+        marshal_aggregate_stats_request =>
+            OfpMessage::AggregateStatsRequest(AggregateStatsRequest {
+                fmatch: FlowMatch::in_port(PortNo(3)),
+                out_port: PortNo::NONE,
+            });
+        marshal_aggregate_stats_reply => OfpMessage::AggregateStatsReply(AggregateStats {
+            packet_count: 100,
+            byte_count: 6400,
+            flow_count: 3,
+        });
+        marshal_table_stats_request => OfpMessage::TableStatsRequest;
+        marshal_table_stats_reply => OfpMessage::TableStatsReply(vec![TableStatsEntry {
+            table_id: 0,
+            name: "classifier".into(),
+            max_entries: 4096,
+            active_count: 7,
+            lookup_count: 1000,
+            matched_count: 900,
+        }]);
+        marshal_desc_stats_request => OfpMessage::DescStatsRequest;
+        marshal_desc_stats_reply => OfpMessage::DescStatsReply(DescStats {
+            manufacturer: "m".into(),
+            hardware: "h".into(),
+            software: "s".into(),
+            serial: "sn".into(),
+            datapath: "dp".into(),
+        });
+        marshal_barrier_request => OfpMessage::BarrierRequest;
+        marshal_barrier_reply => OfpMessage::BarrierReply;
     }
 
     #[test]

@@ -1,0 +1,696 @@
+//! The controller-side connection state machine.
+//!
+//! [`Connection`] owns a [`crate::transport::Transport`] and drives the
+//! OF 1.0 session over it the way a real controller does:
+//!
+//! * **handshake** — `Hello` is sent on connect, with a pipelined
+//!   `FeaturesRequest` right behind it (legal in OF 1.0: version
+//!   negotiation succeeds iff the version bytes agree, and the switch
+//!   processes the stream in order). The state machine advances
+//!   `HelloSent → FeaturesSent → Ready` as the replies arrive;
+//! * **xid pairing** — every request carries a fresh transaction id and
+//!   [`Connection::wait_reply`] pairs replies to requests, stashing
+//!   asynchronous messages (packet-ins, port-status) for later delivery;
+//! * **echo keepalive** — in steady state an `EchoRequest` probes the
+//!   switch when the link has been quiet; a missing reply marks the
+//!   connection dead instead of hanging callers forever;
+//! * **barrier semantics** — barrier replies double as delivery
+//!   acknowledgements for every flow mod sent before them;
+//! * **flow-mod batching** — [`Connection::send_flow_mods`] marshals a
+//!   whole batch into one transport write;
+//! * **reconnect-with-replay** — flow mods not yet covered by a barrier
+//!   reply survive in a replay log; [`Connection::reconnect`] re-runs the
+//!   handshake on a fresh transport and replays them, so a controller
+//!   restart mid-update loses nothing.
+
+use crate::codec::encode;
+use crate::framer::Framer;
+use crate::messages::*;
+use crate::transport::Transport;
+use crate::types::PortNo;
+use crate::{Action, FlowMatch, OfError, Result};
+use parking_lot::Mutex;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+/// Where the session stands in the OF 1.0 connection setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionState {
+    /// `Hello` sent, peer's `Hello` not yet seen.
+    HelloSent,
+    /// Versions agreed; waiting for the `FeaturesReply`.
+    FeaturesSent,
+    /// Handshake complete — steady state.
+    Ready,
+    /// The transport failed or the keepalive gave up.
+    Disconnected,
+}
+
+/// What the switch reported in its `FeaturesReply`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchFeatures {
+    pub datapath_id: u64,
+    pub ports: Vec<u16>,
+}
+
+/// Everything guarded by the I/O lock: the byte stream and the
+/// handshake/keepalive state that only the stream can advance.
+struct Io {
+    transport: Box<dyn Transport>,
+    framer: Framer,
+    /// Bytes accepted by `send_*` but not yet taken by the transport
+    /// (partial writes).
+    wbuf: Vec<u8>,
+    state: ConnectionState,
+    fatal: Option<OfError>,
+    features: Option<SwitchFeatures>,
+    features_xid: u32,
+    /// Internal keepalive echoes whose replies are swallowed.
+    internal_echo: HashSet<u32>,
+    echo_sent: Option<Instant>,
+    last_io: Instant,
+}
+
+/// Flow mods awaiting barrier acknowledgement, for replay on reconnect.
+#[derive(Default)]
+struct Replay {
+    /// Monotone counter of flow mods ever sent.
+    seq: u64,
+    /// `(seq, flow_mod)` not yet covered by a barrier reply.
+    pending: VecDeque<(u64, FlowMod)>,
+    /// Outstanding barriers as `(xid, seq at send time)` — a reply to
+    /// `xid` acknowledges every pending entry with `seq <=` the mark.
+    marks: Vec<(u32, u64)>,
+    /// Barriers the connection itself appended after a replay; their
+    /// replies are swallowed rather than delivered.
+    internal_barriers: HashSet<u32>,
+}
+
+/// The controller's end of a framed OpenFlow control channel.
+///
+/// This type also serves as the (deprecated) `ControllerHandle`: every
+/// typed helper of the old channel API lives here, now running over real
+/// framed bytes.
+pub struct Connection {
+    io: Mutex<Io>,
+    replay: Mutex<Replay>,
+    /// Asynchronous / not-yet-claimed messages, oldest first.
+    inbox: Mutex<VecDeque<(OfpMessage, u32)>>,
+    next_xid: AtomicU32,
+    keepalive_interval: Duration,
+    keepalive_timeout: Duration,
+}
+
+impl Connection {
+    /// Opens a connection over `transport` and immediately starts the
+    /// handshake (`Hello` + pipelined `FeaturesRequest`, one write).
+    pub fn new(transport: Box<dyn Transport>) -> Connection {
+        let conn = Connection {
+            io: Mutex::new(Io {
+                transport,
+                framer: Framer::new(),
+                wbuf: Vec::new(),
+                state: ConnectionState::HelloSent,
+                fatal: None,
+                features: None,
+                features_xid: 0,
+                internal_echo: HashSet::new(),
+                echo_sent: None,
+                last_io: Instant::now(),
+            }),
+            replay: Mutex::new(Replay::default()),
+            inbox: Mutex::new(VecDeque::new()),
+            next_xid: AtomicU32::new(1),
+            keepalive_interval: Duration::from_secs(5),
+            keepalive_timeout: Duration::from_secs(15),
+        };
+        let hello_xid = conn.xid();
+        let features_xid = conn.xid();
+        {
+            let mut io = conn.io.lock();
+            io.features_xid = features_xid;
+            let mut bytes = encode(&OfpMessage::Hello, hello_xid);
+            bytes.extend(encode(&OfpMessage::FeaturesRequest, features_xid));
+            let _ = write_bytes(&mut io, &bytes);
+        }
+        conn
+    }
+
+    /// Overrides the echo keepalive cadence (probe after `interval` of
+    /// silence, declare the peer dead `timeout` after an unanswered probe).
+    pub fn set_keepalive(&mut self, interval: Duration, timeout: Duration) {
+        self.keepalive_interval = interval;
+        self.keepalive_timeout = timeout;
+    }
+
+    fn xid(&self) -> u32 {
+        self.next_xid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current handshake state.
+    pub fn state(&self) -> ConnectionState {
+        self.io.lock().state
+    }
+
+    /// The switch's `FeaturesReply` contents, once [`ConnectionState::Ready`].
+    pub fn features(&self) -> Option<SwitchFeatures> {
+        self.io.lock().features.clone()
+    }
+
+    /// Flow mods not yet acknowledged by a barrier (would be replayed on
+    /// [`Connection::reconnect`]).
+    pub fn unacked_flow_mods(&self) -> usize {
+        self.replay.lock().pending.len()
+    }
+
+    /// Drives the handshake until [`ConnectionState::Ready`] or `timeout`.
+    pub fn handshake(&self, timeout: Duration) -> Result<SwitchFeatures> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pump()?;
+            {
+                let io = self.io.lock();
+                if io.state == ConnectionState::Ready {
+                    return Ok(io.features.clone().expect("Ready implies features"));
+                }
+                if io.state == ConnectionState::Disconnected {
+                    return Err(io.fatal.clone().unwrap_or(OfError::Disconnected));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(OfError::Disconnected);
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    /// Re-runs the session on a fresh transport after the old one died:
+    /// resets framing state, re-handshakes, then replays every
+    /// un-barriered flow mod followed by an internal barrier whose reply
+    /// (not delivered to the caller) retires the replay log.
+    pub fn reconnect(&self, transport: Box<dyn Transport>) {
+        let mut io = self.io.lock();
+        let mut replay = self.replay.lock();
+        io.transport = transport;
+        io.framer.reset();
+        io.wbuf.clear();
+        io.state = ConnectionState::HelloSent;
+        io.fatal = None;
+        io.features = None;
+        io.internal_echo.clear();
+        io.echo_sent = None;
+        io.last_io = Instant::now();
+
+        let hello_xid = self.xid();
+        let features_xid = self.xid();
+        io.features_xid = features_xid;
+        let mut bytes = encode(&OfpMessage::Hello, hello_xid);
+        bytes.extend(encode(&OfpMessage::FeaturesRequest, features_xid));
+
+        // Replies to barriers sent over the dead transport will never
+        // arrive; the pending entries they covered stay in the log and are
+        // replayed now, exactly once per reconnect.
+        replay.marks.clear();
+        replay.internal_barriers.clear();
+        for (_seq, fm) in replay.pending.iter() {
+            bytes.extend(encode(&OfpMessage::FlowMod(fm.clone()), self.xid()));
+        }
+        if !replay.pending.is_empty() {
+            let barrier_xid = self.xid();
+            let seq = replay.seq;
+            replay.internal_barriers.insert(barrier_xid);
+            replay.marks.push((barrier_xid, seq));
+            bytes.extend(encode(&OfpMessage::BarrierRequest, barrier_xid));
+        }
+        let _ = write_bytes(&mut io, &bytes);
+    }
+
+    /// Sends any message, returning the xid used.
+    pub fn send(&self, msg: &OfpMessage) -> Result<u32> {
+        let xid = self.xid();
+        let mut io = self.io.lock();
+        {
+            let mut replay = self.replay.lock();
+            match msg {
+                OfpMessage::FlowMod(fm) => {
+                    replay.seq += 1;
+                    let seq = replay.seq;
+                    replay.pending.push_back((seq, fm.clone()));
+                }
+                OfpMessage::BarrierRequest => {
+                    let seq = replay.seq;
+                    replay.marks.push((xid, seq));
+                }
+                _ => {}
+            }
+        }
+        write_bytes(&mut io, &encode(msg, xid))?;
+        Ok(xid)
+    }
+
+    /// Marshals a whole batch of flow mods into a single transport write.
+    pub fn send_flow_mods(&self, mods: &[FlowMod]) -> Result<()> {
+        let mut io = self.io.lock();
+        let mut bytes = Vec::with_capacity(mods.len() * 80);
+        {
+            let mut replay = self.replay.lock();
+            for fm in mods {
+                replay.seq += 1;
+                let seq = replay.seq;
+                replay.pending.push_back((seq, fm.clone()));
+                bytes.extend(encode(&OfpMessage::FlowMod(fm.clone()), self.xid()));
+            }
+        }
+        write_bytes(&mut io, &bytes)
+    }
+
+    /// Reads the transport, reassembles frames and dispatches them:
+    /// handshake and keepalive traffic is consumed here, everything else
+    /// lands in the inbox for [`Connection::try_recv`] / `wait_reply`.
+    fn pump(&self) -> Result<()> {
+        let mut io = self.io.lock();
+        if io.state == ConnectionState::Disconnected {
+            return Err(io.fatal.clone().unwrap_or(OfError::Disconnected));
+        }
+        let _ = flush(&mut io); // opportunistic retry of buffered writes
+        let mut chunk = [0u8; 4096];
+        loop {
+            match io.transport.recv(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    io.last_io = Instant::now();
+                    io.framer.push(&chunk[..n]);
+                    loop {
+                        match io.framer.poll_frame() {
+                            Ok(Some(frame)) => match crate::codec::decode(&frame) {
+                                Ok((msg, xid)) => self.dispatch(&mut io, msg, xid),
+                                Err(e) => return fail(&mut io, e),
+                            },
+                            Ok(None) => break,
+                            // Framing errors are unrecoverable: the stream
+                            // position is gone.
+                            Err(e) => return fail(&mut io, e),
+                        }
+                    }
+                }
+                Err(e) => return fail(&mut io, e),
+            }
+        }
+        self.keepalive(&mut io)
+    }
+
+    /// Steady-state liveness probing over the same stream.
+    fn keepalive(&self, io: &mut Io) -> Result<()> {
+        if io.state != ConnectionState::Ready {
+            return Ok(());
+        }
+        if let Some(sent) = io.echo_sent {
+            if sent.elapsed() >= self.keepalive_timeout {
+                return fail(io, OfError::Disconnected);
+            }
+        } else if io.last_io.elapsed() >= self.keepalive_interval {
+            let xid = self.xid();
+            io.internal_echo.insert(xid);
+            io.echo_sent = Some(Instant::now());
+            let bytes = encode(&OfpMessage::EchoRequest(b"keepalive".to_vec()), xid);
+            write_bytes(io, &bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Routes one received message: session traffic is absorbed, the rest
+    /// is queued for the caller.
+    fn dispatch(&self, io: &mut Io, msg: OfpMessage, xid: u32) {
+        match msg {
+            OfpMessage::Hello => {
+                if io.state == ConnectionState::HelloSent {
+                    io.state = ConnectionState::FeaturesSent;
+                }
+            }
+            OfpMessage::FeaturesReply { datapath_id, ports } if xid == io.features_xid => {
+                io.features = Some(SwitchFeatures { datapath_id, ports });
+                io.state = ConnectionState::Ready;
+            }
+            OfpMessage::EchoRequest(data) => {
+                let bytes = encode(&OfpMessage::EchoReply(data), xid);
+                let _ = write_bytes(io, &bytes);
+            }
+            OfpMessage::EchoReply(_) if io.internal_echo.remove(&xid) => {
+                io.echo_sent = None;
+            }
+            OfpMessage::BarrierReply => {
+                let internal = {
+                    let mut replay = self.replay.lock();
+                    if let Some(pos) = replay.marks.iter().position(|(x, _)| *x == xid) {
+                        let (_, acked_seq) = replay.marks.remove(pos);
+                        replay.pending.retain(|(seq, _)| *seq > acked_seq);
+                    }
+                    replay.internal_barriers.remove(&xid)
+                };
+                if !internal {
+                    self.inbox.lock().push_back((OfpMessage::BarrierReply, xid));
+                }
+            }
+            other => self.inbox.lock().push_back((other, xid)),
+        }
+    }
+
+    /// Non-blocking receive of asynchronous messages (packet-in etc.).
+    pub fn try_recv(&self) -> Option<Result<(OfpMessage, u32)>> {
+        let pump_err = self.pump().err();
+        if let Some(m) = self.inbox.lock().pop_front() {
+            return Some(Ok(m));
+        }
+        pump_err.map(Err)
+    }
+
+    /// Waits for the reply carrying `xid`, stashing unrelated messages.
+    pub fn wait_reply(&self, xid: u32, timeout: Duration) -> Result<OfpMessage> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let pump_err = self.pump().err();
+            {
+                let mut inbox = self.inbox.lock();
+                if let Some(pos) = inbox.iter().position(|(_m, x)| *x == xid) {
+                    return Ok(inbox.remove(pos).expect("position exists").0);
+                }
+            }
+            if let Some(e) = pump_err {
+                return Err(e);
+            }
+            if Instant::now() >= deadline {
+                return Err(OfError::Disconnected);
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    /// Sends `msg` and waits for the xid-paired reply — the one-call form
+    /// of the request/reply pattern every stats helper uses.
+    pub fn request_reply(&self, msg: &OfpMessage, timeout: Duration) -> Result<OfpMessage> {
+        let xid = self.send(msg)?;
+        self.wait_reply(xid, timeout)
+    }
+
+    /// Installs a flow: `Add` with the given match/priority/actions/cookie.
+    pub fn add_flow(
+        &self,
+        fmatch: FlowMatch,
+        priority: u16,
+        actions: Vec<Action>,
+        cookie: u64,
+    ) -> Result<u32> {
+        self.send(&OfpMessage::FlowMod(
+            FlowMod::add(fmatch, priority, actions).with_cookie(cookie),
+        ))
+    }
+
+    /// Strict-deletes a flow.
+    pub fn del_flow_strict(&self, fmatch: FlowMatch, priority: u16) -> Result<u32> {
+        self.send(&OfpMessage::FlowMod(FlowMod::delete_strict(
+            fmatch, priority,
+        )))
+    }
+
+    /// Requests statistics for all flows and waits for the reply.
+    pub fn flow_stats(&self, timeout: Duration) -> Result<Vec<FlowStatsEntry>> {
+        let req = OfpMessage::FlowStatsRequest(FlowStatsRequest {
+            fmatch: FlowMatch::any(),
+            out_port: PortNo::NONE,
+        });
+        match self.request_reply(&req, timeout)? {
+            OfpMessage::FlowStatsReply(entries) => Ok(entries),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Requests statistics for all ports and waits for the reply.
+    pub fn port_stats(&self, timeout: Duration) -> Result<Vec<PortStatsEntry>> {
+        let req = OfpMessage::PortStatsRequest(PortStatsRequest {
+            port_no: PortNo::NONE,
+        });
+        match self.request_reply(&req, timeout)? {
+            OfpMessage::PortStatsReply(entries) => Ok(entries),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Sends a barrier and waits for it to complete. The reply also
+    /// acknowledges every flow mod sent before it (retiring them from the
+    /// replay log).
+    pub fn barrier(&self, timeout: Duration) -> Result<()> {
+        match self.request_reply(&OfpMessage::BarrierRequest, timeout)? {
+            OfpMessage::BarrierReply => Ok(()),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Injects a packet via packet-out.
+    pub fn packet_out(&self, data: Vec<u8>, actions: Vec<Action>) -> Result<u32> {
+        self.send(&OfpMessage::PacketOut(PacketOut {
+            in_port: PortNo::NONE,
+            actions,
+            data,
+        }))
+    }
+
+    /// Administratively brings a port down (or back up) via `port_mod`.
+    pub fn set_port_down(&self, port_no: PortNo, down: bool) -> Result<u32> {
+        self.send(&OfpMessage::PortMod(PortMod { port_no, down }))
+    }
+
+    /// Requests aggregate statistics over rules covered by `fmatch`.
+    pub fn aggregate_stats(&self, fmatch: FlowMatch, timeout: Duration) -> Result<AggregateStats> {
+        let req = OfpMessage::AggregateStatsRequest(AggregateStatsRequest {
+            fmatch,
+            out_port: PortNo::NONE,
+        });
+        match self.request_reply(&req, timeout)? {
+            OfpMessage::AggregateStatsReply(agg) => Ok(agg),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Requests per-table statistics.
+    pub fn table_stats(&self, timeout: Duration) -> Result<Vec<TableStatsEntry>> {
+        match self.request_reply(&OfpMessage::TableStatsRequest, timeout)? {
+            OfpMessage::TableStatsReply(entries) => Ok(entries),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Requests the switch description.
+    pub fn desc_stats(&self, timeout: Duration) -> Result<DescStats> {
+        match self.request_reply(&OfpMessage::DescStatsRequest, timeout)? {
+            OfpMessage::DescStatsReply(desc) => Ok(desc),
+            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Drains any queued asynchronous [`PortStatus`] notifications,
+    /// stashing unrelated messages for later delivery.
+    pub fn drain_port_status(&self) -> Vec<PortStatus> {
+        let _ = self.pump();
+        let mut out = Vec::new();
+        self.inbox.lock().retain(|(msg, _xid)| {
+            if let OfpMessage::PortStatus(ps) = msg {
+                out.push(ps.clone());
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+}
+
+/// Marks the connection dead with `e` and propagates it.
+fn fail(io: &mut Io, e: OfError) -> Result<()> {
+    io.state = ConnectionState::Disconnected;
+    io.fatal = Some(e.clone());
+    Err(e)
+}
+
+/// Queues `bytes` and pushes as much as the transport will take.
+fn write_bytes(io: &mut Io, bytes: &[u8]) -> Result<()> {
+    io.wbuf.extend_from_slice(bytes);
+    flush(io)
+}
+
+fn flush(io: &mut Io) -> Result<()> {
+    while !io.wbuf.is_empty() {
+        match io.transport.send(&io.wbuf) {
+            Ok(0) => break, // transport saturated; retry on next pump
+            Ok(n) => {
+                io.wbuf.drain(..n);
+                io.last_io = Instant::now();
+            }
+            Err(e) => return fail(io, e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::SwitchLink;
+    use crate::transport::{faulty_pair, loopback, FaultConfig};
+
+    /// A minimal in-test switch endpoint: answers handshake traffic the
+    /// way `ovs_dp::Ofproto::poll` does.
+    fn pump_switch(sw: &SwitchLink) -> Vec<(OfpMessage, u32)> {
+        let mut unhandled = Vec::new();
+        while let Some(res) = sw.try_recv() {
+            let Ok((msg, xid)) = res else { break };
+            match msg {
+                OfpMessage::Hello => sw.send(&OfpMessage::Hello, xid).unwrap(),
+                OfpMessage::FeaturesRequest => sw
+                    .send(
+                        &OfpMessage::FeaturesReply {
+                            datapath_id: 0xd1,
+                            ports: vec![1, 2],
+                        },
+                        xid,
+                    )
+                    .unwrap(),
+                OfpMessage::EchoRequest(d) => sw.send(&OfpMessage::EchoReply(d), xid).unwrap(),
+                OfpMessage::BarrierRequest => sw.send(&OfpMessage::BarrierReply, xid).unwrap(),
+                other => unhandled.push((other, xid)),
+            }
+        }
+        unhandled
+    }
+
+    fn connected() -> (Connection, SwitchLink) {
+        let (c, s) = loopback();
+        (Connection::new(Box::new(c)), SwitchLink::new(Box::new(s)))
+    }
+
+    #[test]
+    fn handshake_reaches_ready() {
+        let (conn, sw) = connected();
+        assert_eq!(conn.state(), ConnectionState::HelloSent);
+        pump_switch(&sw);
+        let features = conn.handshake(Duration::from_secs(1)).unwrap();
+        assert_eq!(features.datapath_id, 0xd1);
+        assert_eq!(conn.state(), ConnectionState::Ready);
+        assert_eq!(conn.features().unwrap().ports, vec![1, 2]);
+    }
+
+    #[test]
+    fn barrier_retires_replay_log() {
+        let (conn, sw) = connected();
+        pump_switch(&sw);
+        conn.add_flow(FlowMatch::in_port(PortNo(1)), 10, vec![], 1)
+            .unwrap();
+        conn.add_flow(FlowMatch::in_port(PortNo(2)), 10, vec![], 2)
+            .unwrap();
+        assert_eq!(conn.unacked_flow_mods(), 2);
+        let t = std::thread::spawn({
+            // Answer the barrier from another thread while barrier() blocks.
+            move || {
+                std::thread::sleep(Duration::from_millis(50));
+                pump_switch(&sw);
+                sw
+            }
+        });
+        conn.barrier(Duration::from_secs(2)).unwrap();
+        assert_eq!(conn.unacked_flow_mods(), 0);
+        drop(t.join().unwrap());
+    }
+
+    #[test]
+    fn batched_flow_mods_arrive_in_order() {
+        let (conn, sw) = connected();
+        let mods: Vec<FlowMod> = (0..5)
+            .map(|i| {
+                FlowMod::add(FlowMatch::in_port(PortNo(i)), 10, vec![]).with_cookie(u64::from(i))
+            })
+            .collect();
+        conn.send_flow_mods(&mods).unwrap();
+        let got = pump_switch(&sw);
+        let cookies: Vec<u64> = got
+            .iter()
+            .filter_map(|(m, _)| match m {
+                OfpMessage::FlowMod(fm) => Some(fm.cookie),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cookies, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reconnect_replays_unbarriered_flow_mods() {
+        let (c_end, s_end, ctl) = faulty_pair(FaultConfig::default());
+        let conn = Connection::new(Box::new(c_end));
+        let sw = SwitchLink::new(Box::new(s_end));
+        pump_switch(&sw);
+        conn.handshake(Duration::from_secs(1)).unwrap();
+
+        conn.add_flow(FlowMatch::in_port(PortNo(7)), 10, vec![], 0x77)
+            .unwrap();
+        ctl.cut(); // controller "crashes" before any barrier
+        assert!(conn.barrier(Duration::from_millis(100)).is_err());
+        assert_eq!(conn.state(), ConnectionState::Disconnected);
+        assert_eq!(conn.unacked_flow_mods(), 1);
+
+        // New transport: handshake reruns, the flow mod is replayed, and an
+        // internal barrier retires the log without surfacing to the caller.
+        let (c2, s2) = loopback();
+        conn.reconnect(Box::new(c2));
+        let sw2 = SwitchLink::new(Box::new(s2));
+        let replayed = pump_switch(&sw2);
+        conn.handshake(Duration::from_secs(1)).unwrap();
+        let cookies: Vec<u64> = replayed
+            .iter()
+            .filter_map(|(m, _)| match m {
+                OfpMessage::FlowMod(fm) => Some(fm.cookie),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cookies, vec![0x77]);
+        // Internal barrier reply consumed the log and was not delivered.
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while conn.unacked_flow_mods() > 0 && Instant::now() < deadline {
+            let _ = conn.try_recv();
+        }
+        assert_eq!(conn.unacked_flow_mods(), 0);
+        assert!(conn.try_recv().is_none());
+    }
+
+    #[test]
+    fn keepalive_declares_dead_switch() {
+        let (c, _s) = loopback();
+        let mut conn = Connection::new(Box::new(c));
+        conn.set_keepalive(Duration::from_millis(1), Duration::from_millis(20));
+        // Force Ready state without a real handshake: pretend features came.
+        {
+            let mut io = conn.io.lock();
+            io.state = ConnectionState::Ready;
+            io.features = Some(SwitchFeatures {
+                datapath_id: 1,
+                ports: vec![],
+            });
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        let _ = conn.try_recv(); // sends the probe
+        std::thread::sleep(Duration::from_millis(30));
+        let _ = conn.try_recv(); // probe unanswered past the timeout
+        assert_eq!(conn.state(), ConnectionState::Disconnected);
+    }
+
+    #[test]
+    fn echo_replies_pair_with_user_requests() {
+        let (conn, sw) = connected();
+        pump_switch(&sw);
+        conn.handshake(Duration::from_secs(1)).unwrap();
+        let xid = conn
+            .send(&OfpMessage::EchoRequest(vec![0xaa, 0xbb]))
+            .unwrap();
+        pump_switch(&sw);
+        let reply = conn.wait_reply(xid, Duration::from_secs(1)).unwrap();
+        assert_eq!(reply, OfpMessage::EchoReply(vec![0xaa, 0xbb]));
+    }
+}

@@ -1,255 +1,153 @@
-//! The controller ↔ switch control link.
+//! The switch's end of the control channel, plus compatibility shims.
 //!
-//! Both directions carry *encoded* OF 1.0 bytes (see [`crate::codec`]); the
-//! [`ControllerHandle`] offers typed convenience methods on top, with xid
-//! allocation and synchronous request/reply helpers the tests and examples
-//! use to act as a minimal controller.
+//! [`SwitchLink`] is the byte-stream counterpart of
+//! [`crate::connection::Connection`]: it owns a [`crate::Transport`], cuts
+//! the incoming stream into frames with a [`crate::Framer`] and decodes
+//! them on demand. The old typed-channel API survives one more release as
+//! thin deprecated aliases over the framed path ([`control_link`],
+//! [`ControllerHandle`]) so downstream call sites can migrate gradually.
 
 use crate::codec::{decode, encode};
-use crate::messages::*;
-use crate::types::PortNo;
-use crate::{Action, FlowMatch, OfError, Result};
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::time::{Duration, Instant};
+use crate::connection::Connection;
+use crate::framer::Framer;
+use crate::messages::OfpMessage;
+use crate::transport::{loopback, Transport};
+use crate::{OfError, Result};
+use parking_lot::Mutex;
 
-/// The switch's end of the control link: raw encoded frames in and out.
+/// The switch's end of the control link: a framed byte stream.
 pub struct SwitchLink {
-    rx: Receiver<Vec<u8>>,
-    tx: Sender<Vec<u8>>,
+    inner: Mutex<SwitchIo>,
+}
+
+struct SwitchIo {
+    transport: Box<dyn Transport>,
+    framer: Framer,
+    /// Set once a framing error has desynced the stream; reported once,
+    /// then the link behaves as disconnected.
+    poisoned: Option<OfError>,
 }
 
 impl SwitchLink {
-    /// Messages from the controller not yet picked up by the switch.
+    /// Wraps a transport as the switch endpoint.
+    pub fn new(transport: Box<dyn Transport>) -> SwitchLink {
+        SwitchLink {
+            inner: Mutex::new(SwitchIo {
+                transport,
+                framer: Framer::new(),
+                poisoned: None,
+            }),
+        }
+    }
+
+    /// Bytes from the controller not yet consumed by the switch — the
+    /// control-idle signal used by convergence waits. Counts both bytes
+    /// still in the transport and partial frames in the framer.
     pub fn pending(&self) -> usize {
-        self.rx.len()
+        let io = self.inner.lock();
+        io.transport.pending_bytes() + io.framer.buffered()
     }
 
     /// Next message from the controller, if any.
+    ///
+    /// Decoding errors of a *complete* frame are recoverable (the caller
+    /// typically answers with an OF error message and continues); framing
+    /// errors poison the stream — reported once, then
+    /// [`OfError::Disconnected`].
     pub fn try_recv(&self) -> Option<Result<(OfpMessage, u32)>> {
-        match self.rx.try_recv() {
-            Ok(bytes) => Some(decode(&bytes)),
-            Err(TryRecvError::Empty) => None,
-            Err(TryRecvError::Disconnected) => Some(Err(OfError::Disconnected)),
+        let mut io = self.inner.lock();
+        if let Some(e) = io.poisoned.take() {
+            io.poisoned = Some(OfError::Disconnected);
+            return Some(Err(e));
+        }
+        loop {
+            match io.framer.poll_frame() {
+                Ok(Some(frame)) => return Some(decode(&frame)),
+                Ok(None) => {}
+                Err(e) => {
+                    io.poisoned = Some(OfError::Disconnected);
+                    return Some(Err(e));
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match io.transport.recv(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => io.framer.push(&chunk[..n]),
+                Err(e) => return Some(Err(e)),
+            }
         }
     }
 
     /// Sends a message to the controller.
     pub fn send(&self, msg: &OfpMessage, xid: u32) -> Result<()> {
-        self.tx
-            .send(encode(msg, xid))
-            .map_err(|_| OfError::Disconnected)
+        let io = self.inner.lock();
+        let bytes = encode(msg, xid);
+        let mut sent = 0;
+        while sent < bytes.len() {
+            match io.transport.send(&bytes[sent..]) {
+                Ok(0) => std::thread::yield_now(), // saturated; retry
+                Ok(n) => sent += n,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 }
 
 /// The controller's end of the control link.
-pub struct ControllerHandle {
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
-    next_xid: AtomicU32,
-    /// Messages that arrived while waiting for a specific reply.
-    stash: parking_lot::Mutex<Vec<(OfpMessage, u32)>>,
-}
+///
+/// The typed helpers (`add_flow`, `barrier`, `flow_stats`, …) now live on
+/// [`Connection`]; this alias keeps one release of source compatibility.
+#[deprecated(note = "use openflow::Connection (the framed control channel)")]
+pub type ControllerHandle = Connection;
 
-/// Creates a connected controller/switch pair.
-pub fn control_link() -> (ControllerHandle, SwitchLink) {
-    let (ctx, srx) = unbounded();
-    let (stx, crx) = unbounded();
+/// Creates a connected controller/switch pair over an in-process framed
+/// byte stream. The connection starts its handshake immediately; the
+/// switch end answers it on its normal poll loop.
+pub fn framed_link() -> (Connection, SwitchLink) {
+    let (c_end, s_end) = loopback();
     (
-        ControllerHandle {
-            tx: ctx,
-            rx: crx,
-            next_xid: AtomicU32::new(1),
-            stash: parking_lot::Mutex::new(Vec::new()),
-        },
-        SwitchLink { rx: srx, tx: stx },
+        Connection::new(Box::new(c_end)),
+        SwitchLink::new(Box::new(s_end)),
     )
 }
 
-impl ControllerHandle {
-    fn xid(&self) -> u32 {
-        self.next_xid.fetch_add(1, Ordering::Relaxed)
-    }
-
-    /// Sends any message, returning the xid used.
-    pub fn send(&self, msg: &OfpMessage) -> Result<u32> {
-        let xid = self.xid();
-        self.tx
-            .send(encode(msg, xid))
-            .map_err(|_| OfError::Disconnected)?;
-        Ok(xid)
-    }
-
-    /// Non-blocking receive of asynchronous messages (packet-in etc.).
-    pub fn try_recv(&self) -> Option<Result<(OfpMessage, u32)>> {
-        if let Some(m) = self.stash.lock().pop() {
-            return Some(Ok(m));
-        }
-        match self.rx.try_recv() {
-            Ok(bytes) => Some(decode(&bytes)),
-            Err(TryRecvError::Empty) => None,
-            Err(TryRecvError::Disconnected) => Some(Err(OfError::Disconnected)),
-        }
-    }
-
-    /// Waits for the reply carrying `xid`, stashing unrelated messages.
-    pub fn wait_reply(&self, xid: u32, timeout: Duration) -> Result<OfpMessage> {
-        // The reply may already have been stashed by another helper.
-        {
-            let mut stash = self.stash.lock();
-            if let Some(pos) = stash.iter().position(|(_m, x)| *x == xid) {
-                return Ok(stash.remove(pos).0);
-            }
-        }
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline
-                .checked_duration_since(Instant::now())
-                .ok_or(OfError::Disconnected)?;
-            let bytes = self
-                .rx
-                .recv_timeout(remaining)
-                .map_err(|_| OfError::Disconnected)?;
-            let (msg, got_xid) = decode(&bytes)?;
-            if got_xid == xid {
-                return Ok(msg);
-            }
-            self.stash.lock().push((msg, got_xid));
-        }
-    }
-
-    /// Installs a flow: `Add` with the given match/priority/actions/cookie.
-    pub fn add_flow(
-        &self,
-        fmatch: FlowMatch,
-        priority: u16,
-        actions: Vec<Action>,
-        cookie: u64,
-    ) -> Result<u32> {
-        self.send(&OfpMessage::FlowMod(
-            FlowMod::add(fmatch, priority, actions).with_cookie(cookie),
-        ))
-    }
-
-    /// Strict-deletes a flow.
-    pub fn del_flow_strict(&self, fmatch: FlowMatch, priority: u16) -> Result<u32> {
-        self.send(&OfpMessage::FlowMod(FlowMod::delete_strict(
-            fmatch, priority,
-        )))
-    }
-
-    /// Requests statistics for all flows and waits for the reply.
-    pub fn flow_stats(&self, timeout: Duration) -> Result<Vec<FlowStatsEntry>> {
-        let xid = self.send(&OfpMessage::FlowStatsRequest(FlowStatsRequest {
-            fmatch: FlowMatch::any(),
-            out_port: PortNo::NONE,
-        }))?;
-        match self.wait_reply(xid, timeout)? {
-            OfpMessage::FlowStatsReply(entries) => Ok(entries),
-            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
-        }
-    }
-
-    /// Requests statistics for all ports and waits for the reply.
-    pub fn port_stats(&self, timeout: Duration) -> Result<Vec<PortStatsEntry>> {
-        let xid = self.send(&OfpMessage::PortStatsRequest(PortStatsRequest {
-            port_no: PortNo::NONE,
-        }))?;
-        match self.wait_reply(xid, timeout)? {
-            OfpMessage::PortStatsReply(entries) => Ok(entries),
-            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
-        }
-    }
-
-    /// Sends a barrier and waits for it to complete.
-    pub fn barrier(&self, timeout: Duration) -> Result<()> {
-        let xid = self.send(&OfpMessage::BarrierRequest)?;
-        match self.wait_reply(xid, timeout)? {
-            OfpMessage::BarrierReply => Ok(()),
-            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
-        }
-    }
-
-    /// Injects a packet via packet-out.
-    pub fn packet_out(&self, data: Vec<u8>, actions: Vec<Action>) -> Result<u32> {
-        self.send(&OfpMessage::PacketOut(PacketOut {
-            in_port: PortNo::NONE,
-            actions,
-            data,
-        }))
-    }
-
-    /// Administratively brings a port down (or back up) via `port_mod`.
-    pub fn set_port_down(&self, port_no: PortNo, down: bool) -> Result<u32> {
-        self.send(&OfpMessage::PortMod(PortMod { port_no, down }))
-    }
-
-    /// Requests aggregate statistics over rules covered by `fmatch`.
-    pub fn aggregate_stats(&self, fmatch: FlowMatch, timeout: Duration) -> Result<AggregateStats> {
-        let xid = self.send(&OfpMessage::AggregateStatsRequest(AggregateStatsRequest {
-            fmatch,
-            out_port: PortNo::NONE,
-        }))?;
-        match self.wait_reply(xid, timeout)? {
-            OfpMessage::AggregateStatsReply(agg) => Ok(agg),
-            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
-        }
-    }
-
-    /// Requests per-table statistics.
-    pub fn table_stats(&self, timeout: Duration) -> Result<Vec<TableStatsEntry>> {
-        let xid = self.send(&OfpMessage::TableStatsRequest)?;
-        match self.wait_reply(xid, timeout)? {
-            OfpMessage::TableStatsReply(entries) => Ok(entries),
-            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
-        }
-    }
-
-    /// Requests the switch description.
-    pub fn desc_stats(&self, timeout: Duration) -> Result<DescStats> {
-        let xid = self.send(&OfpMessage::DescStatsRequest)?;
-        match self.wait_reply(xid, timeout)? {
-            OfpMessage::DescStatsReply(desc) => Ok(desc),
-            other => Err(OfError::Unknown(format!("unexpected reply {other:?}"))),
-        }
-    }
-
-    /// Drains any queued asynchronous [`PortStatus`] notifications,
-    /// stashing unrelated messages for later delivery.
-    pub fn drain_port_status(&self) -> Vec<PortStatus> {
-        let mut out = Vec::new();
-        // Previously stashed PortStatus messages first.
-        {
-            let mut stash = self.stash.lock();
-            stash.retain(|(msg, _xid)| {
-                if let OfpMessage::PortStatus(ps) = msg {
-                    out.push(ps.clone());
-                    false
-                } else {
-                    true
-                }
-            });
-        }
-        // Then whatever sits in the channel (stash non-PortStatus messages
-        // rather than dropping them).
-        while let Ok(bytes) = self.rx.try_recv() {
-            match decode(&bytes) {
-                Ok((OfpMessage::PortStatus(ps), _xid)) => out.push(ps),
-                Ok((msg, xid)) => self.stash.lock().push((msg, xid)),
-                Err(_) => {}
-            }
-        }
-        out
-    }
+/// Creates a connected controller/switch pair.
+#[deprecated(note = "use framed_link(); the control channel is now a framed byte stream")]
+pub fn control_link() -> (Connection, SwitchLink) {
+    framed_link()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::messages::*;
+    use crate::types::PortNo;
+    use crate::{Action, FlowMatch};
+    use std::time::Duration;
+
+    /// Consumes the handshake frames the connection emits at creation
+    /// (`Hello` then `FeaturesRequest`), answering both.
+    fn answer_handshake(sw: &SwitchLink) {
+        let (msg, xid) = sw.try_recv().unwrap().unwrap();
+        assert_eq!(msg, OfpMessage::Hello);
+        sw.send(&OfpMessage::Hello, xid).unwrap();
+        let (msg, xid) = sw.try_recv().unwrap().unwrap();
+        assert_eq!(msg, OfpMessage::FeaturesRequest);
+        sw.send(
+            &OfpMessage::FeaturesReply {
+                datapath_id: 1,
+                ports: vec![],
+            },
+            xid,
+        )
+        .unwrap();
+    }
 
     #[test]
-    fn controller_and_switch_exchange_encoded_bytes() {
-        let (ctrl, sw) = control_link();
+    fn controller_and_switch_exchange_framed_bytes() {
+        let (ctrl, sw) = framed_link();
+        answer_handshake(&sw);
         let xid = ctrl
             .add_flow(
                 FlowMatch::in_port(PortNo(1)),
@@ -268,11 +166,13 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(sw.try_recv().is_none());
+        assert_eq!(sw.pending(), 0);
     }
 
     #[test]
     fn wait_reply_skips_unrelated_messages() {
-        let (ctrl, sw) = control_link();
+        let (ctrl, sw) = framed_link();
+        answer_handshake(&sw);
         let xid = ctrl.send(&OfpMessage::BarrierRequest).unwrap();
         // Switch sends an async packet-in first, then the barrier reply.
         sw.send(
@@ -284,6 +184,9 @@ mod tests {
             999,
         )
         .unwrap();
+        let (req, bxid) = sw.try_recv().unwrap().unwrap();
+        assert_eq!(req, OfpMessage::BarrierRequest);
+        assert_eq!(bxid, xid);
         sw.send(&OfpMessage::BarrierReply, xid).unwrap();
         let reply = ctrl.wait_reply(xid, Duration::from_secs(1)).unwrap();
         assert_eq!(reply, OfpMessage::BarrierReply);
@@ -295,22 +198,38 @@ mod tests {
 
     #[test]
     fn disconnect_surfaces() {
-        let (ctrl, sw) = control_link();
+        let (ctrl, sw) = framed_link();
         drop(sw);
         assert!(matches!(
-            ctrl.send(&OfpMessage::Hello),
+            ctrl.send(&OfpMessage::EchoRequest(vec![])),
             Err(OfError::Disconnected)
         ));
     }
 
     #[test]
     fn xids_are_unique_and_increasing() {
-        let (ctrl, sw) = control_link();
-        let a = ctrl.send(&OfpMessage::Hello).unwrap();
-        let b = ctrl.send(&OfpMessage::Hello).unwrap();
+        let (ctrl, sw) = framed_link();
+        answer_handshake(&sw);
+        let a = ctrl.send(&OfpMessage::EchoRequest(vec![1])).unwrap();
+        let b = ctrl.send(&OfpMessage::EchoRequest(vec![2])).unwrap();
         assert!(b > a);
         let (_m, xa) = sw.try_recv().unwrap().unwrap();
         let (_m, xb) = sw.try_recv().unwrap().unwrap();
         assert_eq!((xa, xb), (a, b));
+    }
+
+    #[test]
+    fn switch_link_poisons_on_bad_version_then_disconnects() {
+        use crate::transport::ScriptedTransport;
+        let mut stream = encode(&OfpMessage::Hello, 1);
+        stream.extend([0x09, 0, 0, 8, 0, 0, 0, 0]); // bad version byte
+        let sw = SwitchLink::new(Box::new(ScriptedTransport::new(stream)));
+        assert!(sw.try_recv().unwrap().is_ok());
+        assert_eq!(sw.try_recv().unwrap().unwrap_err(), OfError::BadVersion(9));
+        assert_eq!(
+            sw.try_recv().unwrap().unwrap_err(),
+            OfError::Disconnected,
+            "poisoned stream must not spin the poll loop"
+        );
     }
 }

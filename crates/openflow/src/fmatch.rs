@@ -58,6 +58,16 @@ impl FlowMatch {
         }
     }
 
+    /// A match on an exact L2 source/destination pair — the shape a
+    /// learning switch installs.
+    pub fn eth_pair(src: MacAddr, dst: MacAddr) -> FlowMatch {
+        FlowMatch {
+            eth_src: Some(src),
+            eth_dst: Some(dst),
+            ..FlowMatch::default()
+        }
+    }
+
     /// Canonicalises zero-length prefixes to full wildcards.
     pub fn canonicalise(mut self) -> FlowMatch {
         if matches!(self.ipv4_src, Some((_, 0))) {

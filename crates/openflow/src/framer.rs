@@ -1,0 +1,162 @@
+//! Cuts an OpenFlow byte stream into complete frames.
+//!
+//! A [`Framer`] accumulates whatever byte fragments the [`crate::transport`]
+//! delivers and yields one complete OF 1.0 message at a time, using only the
+//! 8-byte common header's `length` field — exactly how a real switch frames
+//! its TCP control connection. Bad version bytes and absurd lengths poison
+//! the framer: once the stream position is untrustworthy there is no way to
+//! resynchronise, so every subsequent poll fails until [`Framer::reset`].
+
+use crate::wire::OfpHeader;
+use crate::{OfError, Result};
+
+/// Default maximum accepted frame length — the OF 1.0 header's `length`
+/// field is 16 bits, so this admits every encodable frame.
+pub const DEFAULT_MAX_FRAME: usize = 65_535;
+
+/// Incremental frame reassembler for the OF 1.0 byte stream.
+pub struct Framer {
+    buf: Vec<u8>,
+    max_frame: usize,
+    poisoned: Option<OfError>,
+}
+
+impl Default for Framer {
+    fn default() -> Framer {
+        Framer::new()
+    }
+}
+
+impl Framer {
+    /// A framer accepting frames up to [`DEFAULT_MAX_FRAME`] bytes.
+    pub fn new() -> Framer {
+        Framer::with_max_frame(DEFAULT_MAX_FRAME)
+    }
+
+    /// A framer with a custom frame-size ceiling.
+    pub fn with_max_frame(max_frame: usize) -> Framer {
+        Framer {
+            buf: Vec::new(),
+            max_frame: max_frame.max(OfpHeader::SIZE),
+            poisoned: None,
+        }
+    }
+
+    /// Appends newly received bytes to the reassembly buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Yields the next complete frame (header included), `Ok(None)` if more
+    /// bytes are needed, or the poisoning error if the stream desynced.
+    pub fn poll_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        if self.buf.len() < OfpHeader::SIZE {
+            return Ok(None);
+        }
+        let header = OfpHeader::parse(&self.buf).expect("buffer holds a full header");
+        if let Err(e) = header.validate(self.max_frame) {
+            self.poisoned = Some(e.clone());
+            return Err(e);
+        }
+        let total = header.length();
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let rest = self.buf.split_off(total);
+        let frame = std::mem::replace(&mut self.buf, rest);
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether a framing error has poisoned the stream.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Discards all state — used when a connection re-handshakes over a
+    /// fresh transport.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.poisoned = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode;
+    use crate::messages::OfpMessage;
+
+    #[test]
+    fn yields_frames_across_arbitrary_splits() {
+        let mut stream = Vec::new();
+        stream.extend(encode(&OfpMessage::Hello, 1));
+        stream.extend(encode(&OfpMessage::EchoRequest(vec![7; 13]), 2));
+        stream.extend(encode(&OfpMessage::BarrierRequest, 3));
+
+        // Feed one byte at a time — the worst case a transport can do.
+        let mut framer = Framer::new();
+        let mut frames = Vec::new();
+        for b in &stream {
+            framer.push(&[*b]);
+            while let Some(f) = framer.poll_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], encode(&OfpMessage::Hello, 1));
+        assert_eq!(frames[2], encode(&OfpMessage::BarrierRequest, 3));
+        assert_eq!(framer.buffered(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_version_and_poisons() {
+        let mut framer = Framer::new();
+        framer.push(&[0x04, 0, 0, 8, 0, 0, 0, 0]);
+        assert_eq!(framer.poll_frame().unwrap_err(), OfError::BadVersion(0x04));
+        // Poisoned: even valid bytes are refused now.
+        framer.push(&encode(&OfpMessage::Hello, 1));
+        assert!(framer.poll_frame().is_err());
+        framer.reset();
+        framer.push(&encode(&OfpMessage::Hello, 1));
+        assert!(framer.poll_frame().unwrap().is_some());
+    }
+
+    #[test]
+    fn rejects_oversized_and_undersized_lengths() {
+        let mut framer = Framer::with_max_frame(16);
+        framer.push(&[0x01, 0, 0xff, 0xff, 0, 0, 0, 0]);
+        assert_eq!(
+            framer.poll_frame().unwrap_err(),
+            OfError::Oversized {
+                len: 0xffff,
+                max: 16
+            }
+        );
+
+        let mut framer = Framer::new();
+        // length=4 < header size: the stream cannot be advanced safely.
+        framer.push(&[0x01, 0, 0, 4, 0, 0, 0, 0]);
+        assert_eq!(framer.poll_frame().unwrap_err(), OfError::BadLength);
+        assert!(framer.is_poisoned());
+    }
+
+    #[test]
+    fn partial_frame_is_not_yielded() {
+        let bytes = encode(&OfpMessage::EchoRequest(vec![1, 2, 3, 4]), 9);
+        let mut framer = Framer::new();
+        framer.push(&bytes[..bytes.len() - 1]);
+        assert!(framer.poll_frame().unwrap().is_none());
+        framer.push(&bytes[bytes.len() - 1..]);
+        assert_eq!(framer.poll_frame().unwrap().unwrap(), bytes);
+    }
+}

@@ -16,21 +16,34 @@
 //! * a [`controller`] handle pairing a channel transport with xid tracking.
 
 pub mod action;
+pub mod app;
 pub mod codec;
+pub mod connection;
 pub mod controller;
 pub mod fmatch;
+pub mod framer;
 pub mod messages;
+pub mod transport;
 pub mod types;
+pub mod wire;
 
 pub use action::Action;
-pub use controller::{control_link, ControllerHandle, SwitchLink};
+pub use app::{ControllerApp, ControllerRuntime, LearningSwitch};
+pub use connection::{Connection, ConnectionState, SwitchFeatures};
+#[allow(deprecated)]
+pub use controller::{control_link, framed_link, ControllerHandle, SwitchLink};
 pub use fmatch::FlowMatch;
+pub use framer::Framer;
 pub use messages::{
     AggregateStats, AggregateStatsRequest, DescStats, FlowMod, FlowModCommand, FlowRemoved,
     FlowStatsEntry, FlowStatsRequest, OfpMessage, PacketIn, PacketInReason, PacketOut, PortMod,
     PortStatsEntry, PortStatsRequest, PortStatus, PortStatusReason, TableStatsEntry,
 };
+pub use transport::{
+    faulty_pair, loopback, FaultConfig, FaultControl, LoopbackEnd, ScriptedTransport, Transport,
+};
 pub use types::PortNo;
+pub use wire::{OfpHeader, OfpMarshal, OFP_VERSION};
 
 /// Errors produced by codec or transport operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +52,10 @@ pub enum OfError {
     Truncated,
     /// An inner length field disagrees with the payload.
     BadLength,
+    /// The header's version byte is not OpenFlow 1.0.
+    BadVersion(u8),
+    /// A frame claims a length above the framer's configured maximum.
+    Oversized { len: usize, max: usize },
     /// Unknown message type, action type or enum discriminant.
     Unknown(String),
     /// The peer hung up.
@@ -50,6 +67,10 @@ impl std::fmt::Display for OfError {
         match self {
             OfError::Truncated => write!(f, "message truncated"),
             OfError::BadLength => write!(f, "inconsistent length field"),
+            OfError::BadVersion(v) => write!(f, "unsupported OpenFlow version 0x{v:02x}"),
+            OfError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
             OfError::Unknown(what) => write!(f, "unknown value: {what}"),
             OfError::Disconnected => write!(f, "control channel disconnected"),
         }

@@ -1,0 +1,153 @@
+//! Property tests over the wire layer: the framer must reassemble valid
+//! streams from arbitrary chunkings, and corrupted or truncated input must
+//! produce errors — never a panic, never a mis-framed message.
+
+use openflow::codec::{decode, encode};
+use openflow::messages::{OfpMessage, PacketIn, PacketInReason};
+use openflow::{Action, FlowMatch, FlowMod, Framer, PortNo};
+use proptest::prelude::*;
+
+/// A deterministic valid message picked by `seed`.
+fn message(seed: u64) -> OfpMessage {
+    match seed % 7 {
+        0 => OfpMessage::Hello,
+        1 => OfpMessage::EchoRequest((0..(seed % 16)).map(|b| b as u8).collect()),
+        2 => OfpMessage::BarrierRequest,
+        3 => OfpMessage::FeaturesRequest,
+        4 => OfpMessage::FlowMod(
+            FlowMod::add(
+                FlowMatch::in_port(PortNo((seed % 64) as u16 + 1)),
+                (seed % 500) as u16,
+                vec![Action::Output(PortNo((seed % 48) as u16 + 1))],
+            )
+            .with_cookie(seed),
+        ),
+        5 => OfpMessage::PacketIn(PacketIn {
+            in_port: PortNo((seed % 32) as u16 + 1),
+            reason: PacketInReason::NoMatch,
+            data: (0..(seed % 40)).map(|b| (b * 7) as u8).collect(),
+        }),
+        _ => OfpMessage::BarrierReply,
+    }
+}
+
+/// Encodes `seeds` into one contiguous stream; returns the byte stream and
+/// the expected `(message, xid)` sequence.
+fn stream_of(seeds: &[u64]) -> (Vec<u8>, Vec<(OfpMessage, u32)>) {
+    let mut bytes = Vec::new();
+    let mut expect = Vec::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        let msg = message(s);
+        let xid = 1000 + i as u32;
+        bytes.extend_from_slice(&encode(&msg, xid));
+        expect.push((msg, xid));
+    }
+    (bytes, expect)
+}
+
+/// Drains every complete frame the framer will currently yield. Returns
+/// frames until `Ok(None)` or an error; panicking here fails the property.
+fn drain(framer: &mut Framer) -> (Vec<Vec<u8>>, Option<openflow::OfError>) {
+    let mut frames = Vec::new();
+    loop {
+        match framer.poll_frame() {
+            Ok(Some(f)) => frames.push(f),
+            Ok(None) => return (frames, None),
+            Err(e) => return (frames, Some(e)),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any chunking of a valid stream reassembles to the identical message
+    /// sequence.
+    #[test]
+    fn reassembles_across_random_splits(
+        seeds in proptest::collection::vec(0u64..10_000, 1..6),
+        chunk_seed in proptest::num::u64::ANY,
+    ) {
+        let (bytes, expect) = stream_of(&seeds);
+        let mut framer = Framer::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        let mut rng = chunk_seed | 1;
+        while pos < bytes.len() {
+            // Cheap xorshift for chunk sizes in 1..=13 bytes.
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let take = (1 + (rng % 13) as usize).min(bytes.len() - pos);
+            framer.push(&bytes[pos..pos + take]);
+            pos += take;
+            let (frames, err) = drain(&mut framer);
+            prop_assert!(err.is_none(), "valid stream poisoned the framer: {err:?}");
+            for f in frames {
+                got.push(decode(&f).expect("frame of a valid stream must decode"));
+            }
+        }
+        prop_assert_eq!(framer.buffered(), 0);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Flipping any single byte never panics: each complete frame either
+    /// decodes or errors, framing errors poison the stream permanently, and
+    /// no yielded frame ever disagrees with its own header length.
+    #[test]
+    fn single_byte_mutations_never_panic_or_misframe(
+        seeds in proptest::collection::vec(0u64..10_000, 1..5),
+        pos_seed in proptest::num::u64::ANY,
+        flip in 1u8..=255,
+    ) {
+        let (mut bytes, _) = stream_of(&seeds);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        let mut framer = Framer::new();
+        framer.push(&bytes);
+        let (frames, err) = drain(&mut framer);
+        for f in &frames {
+            // Framing invariant: the yielded slice is exactly as long as
+            // its header claims, even for corrupt bodies.
+            let hdr = openflow::OfpHeader::parse(f).expect("yielded frame has a header");
+            prop_assert_eq!(hdr.length(), f.len());
+            let _ = decode(f); // must not panic; Ok or Err both fine
+        }
+        if err.is_some() {
+            prop_assert!(framer.is_poisoned());
+            // Poisoned framers stay down: more input must change nothing.
+            framer.push(&bytes);
+            prop_assert!(framer.poll_frame().is_err());
+        }
+    }
+
+    /// Truncating a valid stream yields only the frames wholly contained in
+    /// the prefix; the tail stays buffered and is never emitted as a frame.
+    #[test]
+    fn truncation_withholds_partial_frames(
+        seeds in proptest::collection::vec(0u64..10_000, 1..5),
+        cut_seed in proptest::num::u64::ANY,
+    ) {
+        let (bytes, expect) = stream_of(&seeds);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let mut framer = Framer::new();
+        framer.push(&bytes[..cut]);
+        let (frames, err) = drain(&mut framer);
+        prop_assert!(err.is_none(), "a prefix of a valid stream is valid");
+        let consumed: usize = frames.iter().map(Vec::len).sum();
+        prop_assert_eq!(consumed + framer.buffered(), cut);
+        for (f, (want_msg, want_xid)) in frames.iter().zip(&expect) {
+            let (msg, xid) = decode(f).expect("whole frames of a valid prefix decode");
+            prop_assert_eq!(&msg, want_msg);
+            prop_assert_eq!(xid, *want_xid);
+        }
+    }
+
+    /// `decode` over arbitrary bytes returns `Err`, never panics.
+    #[test]
+    fn decode_survives_arbitrary_garbage(
+        data in proptest::collection::vec(proptest::num::u8::ANY, 0..64),
+    ) {
+        let _ = decode(&data); // Ok for accidental valid frames, Err otherwise
+    }
+}

@@ -113,12 +113,20 @@ pub struct TableChange {
     pub modified: Vec<Arc<RuleEntry>>,
     /// Rules removed, with their final counters (for `FlowRemoved`).
     pub removed: Vec<Arc<RuleEntry>>,
+    /// Rules displaced by an `Add` with the same match and priority. In
+    /// OF 1.0 this replacement does *not* produce a `FlowRemoved`, which
+    /// is also what makes replaying an `Add` after a controller reconnect
+    /// idempotent on the wire.
+    pub replaced: Vec<Arc<RuleEntry>>,
 }
 
 impl TableChange {
     /// True when nothing happened.
     pub fn is_empty(&self) -> bool {
-        self.added.is_empty() && self.modified.is_empty() && self.removed.is_empty()
+        self.added.is_empty()
+            && self.modified.is_empty()
+            && self.removed.is_empty()
+            && self.replaced.is_empty()
     }
 }
 
@@ -207,7 +215,7 @@ impl FlowTable {
                 {
                     let old = self.rules.remove(pos);
                     self.classifier.remove(&old);
-                    change.removed.push(old);
+                    change.replaced.push(old);
                 }
                 let rule = Arc::new(RuleEntry {
                     id: self.next_id,
@@ -275,7 +283,7 @@ impl FlowTable {
                     };
                     let mut sub = self.apply(&add);
                     change.added.append(&mut sub.added);
-                    change.removed.append(&mut sub.removed);
+                    change.replaced.append(&mut sub.replaced);
                 }
             }
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
@@ -382,7 +390,10 @@ mod tests {
 
         let change = t.apply(&FlowMod::add(FlowMatch::in_port(PortNo(1)), 5, out(3)));
         assert_eq!(change.added.len(), 1);
-        assert_eq!(change.removed.len(), 1);
+        // The displaced rule is a replacement, not a removal: OF 1.0 sends
+        // no FlowRemoved for it (and replayed Adds stay idempotent).
+        assert_eq!(change.replaced.len(), 1);
+        assert!(change.removed.is_empty());
         let rule = t.lookup(PortNo(1), &key_to(1)).unwrap();
         assert_eq!(rule.actions, out(3));
         assert_eq!(rule.counters().0, 0);

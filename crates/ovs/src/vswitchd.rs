@@ -214,7 +214,7 @@ impl Drop for VSwitchd {
 mod tests {
     use super::*;
     use dpdk_sim::Mbuf;
-    use openflow::{control_link, Action, FlowMatch};
+    use openflow::{framed_link, Action, FlowMatch};
     use packet_wire::PacketBuilder;
     use shmem_sim::channel;
 
@@ -226,7 +226,7 @@ mod tests {
         sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
         sw.add_dpdkr_port(PortNo(2), "dpdkr2", sw2);
 
-        let (ctrl, link) = control_link();
+        let (ctrl, link) = framed_link();
         sw.attach_controller(link);
         sw.start();
 
@@ -337,7 +337,7 @@ mod tests {
         let sw = VSwitchd::new(VSwitchdConfig::default());
         let (sw1, mut vm1) = channel("dpdkr1", 8);
         sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
-        let (ctrl, link) = control_link();
+        let (ctrl, link) = framed_link();
         sw.attach_controller(link);
         sw.start();
 
@@ -366,7 +366,7 @@ mod tests {
         let sw = VSwitchd::new(VSwitchdConfig::default());
         let (sw1, _vm1) = channel("dpdkr1", 8);
         sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
-        let (ctrl, link) = control_link();
+        let (ctrl, link) = framed_link();
         sw.attach_controller(link);
         sw.start();
 
@@ -394,7 +394,7 @@ mod tests {
         let sw = VSwitchd::new(VSwitchdConfig::default());
         let (sw1, mut vm1) = channel("dpdkr1", 64);
         let (sw2, mut vm2) = channel("dpdkr2", 64);
-        let (ctrl, link) = control_link();
+        let (ctrl, link) = framed_link();
         sw.attach_controller(link);
         sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
         sw.add_dpdkr_port(PortNo(2), "dpdkr2", sw2);
@@ -470,7 +470,7 @@ mod tests {
         let (sw2, _vm2) = channel("dpdkr2", 64);
         sw.add_dpdkr_port(PortNo(1), "dpdkr1", sw1);
         sw.add_dpdkr_port(PortNo(2), "dpdkr2", sw2);
-        let (ctrl, link) = control_link();
+        let (ctrl, link) = framed_link();
         sw.attach_controller(link);
         sw.start();
 

@@ -68,7 +68,7 @@ fn probe() -> Mbuf {
     Mbuf::from_slice(&PacketBuilder::udp_probe(64).build())
 }
 
-fn flow_removed_count(ctrl: &vnf_highway::openflow::ControllerHandle) -> usize {
+fn flow_removed_count(ctrl: &vnf_highway::openflow::Connection) -> usize {
     let mut n = 0;
     while let Some(Ok((msg, _xid))) = ctrl.try_recv() {
         if matches!(msg, OfpMessage::FlowRemoved(_)) {
@@ -121,7 +121,7 @@ fn flow_mod_modify_invalidates_warm_caches() {
 #[test]
 fn flow_mod_delete_invalidates_warm_caches_and_reports_removal() {
     let mut w = three_port_world();
-    let (ctrl, link) = vnf_highway::openflow::control_link();
+    let (ctrl, link) = vnf_highway::openflow::framed_link();
     w.ofproto.attach_controller(link);
     w.ofproto.apply_flow_mod(&FlowMod::add(
         FlowMatch::in_port(PortNo(1)),
@@ -155,7 +155,7 @@ fn flow_mod_delete_invalidates_warm_caches_and_reports_removal() {
 #[test]
 fn idle_timeout_sweep_evicts_cached_rule_and_emits_one_flow_removed() {
     let mut w = three_port_world();
-    let (ctrl, link) = vnf_highway::openflow::control_link();
+    let (ctrl, link) = vnf_highway::openflow::framed_link();
     w.ofproto.attach_controller(link);
     let mut fm = FlowMod::add(
         FlowMatch::in_port(PortNo(1)),

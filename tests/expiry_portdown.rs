@@ -13,7 +13,7 @@ use vnf_highway::shmem::{ChannelEnd, SegmentKind};
 
 struct World {
     node: HighwayNode,
-    ctrl: vnf_highway::openflow::ControllerHandle,
+    ctrl: vnf_highway::openflow::Connection,
     entry: ChannelEnd,
     exit: ChannelEnd,
     dep: vnf_highway::vm::ChainDeployment,

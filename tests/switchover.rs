@@ -9,7 +9,7 @@ use vnf_highway::shmem::{ChannelEnd, SegmentKind};
 
 struct World {
     node: HighwayNode,
-    ctrl: vnf_highway::openflow::ControllerHandle,
+    ctrl: vnf_highway::openflow::Connection,
     entry: ChannelEnd,
     exit: ChannelEnd,
     vms: Vec<std::sync::Arc<Vm>>,
