@@ -67,7 +67,7 @@ fn bench_switch_crossing(c: &mut Criterion) {
         let (sw2, vm2) = channel("xing2", 4096);
         dp.add_port(OvsPort::dpdkr(PortNo(1), "p1", sw1));
         dp.add_port(OvsPort::dpdkr(PortNo(2), "p2", sw2));
-        dp.table.write().apply(&openflow::FlowMod::add(
+        dp.table_apply(&openflow::FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             100,
             vec![Action::Output(PortNo(2))],
@@ -78,7 +78,7 @@ fn bench_switch_crossing(c: &mut Criterion) {
     g.bench_function("with_emc", |b| {
         let (dp, mut vm1, mut vm2) = build_dp();
         let snapshot: Vec<Arc<OvsPort>> = dp.ports.read().values().cloned().collect();
-        let mut caches = PmdCaches::new();
+        let caches = parking_lot::Mutex::new(PmdCaches::new());
         let frame = PacketBuilder::udp_probe(64).build();
         let mut staged = BTreeMap::new();
         b.iter(|| {
@@ -86,7 +86,7 @@ fn bench_switch_crossing(c: &mut Criterion) {
             let mut rx = Vec::with_capacity(1);
             snapshot[0].rx_burst(&mut rx, 1);
             for pkt in rx {
-                dp.process_packet(pkt, PortNo(1), Some(&mut caches), &mut staged, &snapshot, 0);
+                dp.process_packet(pkt, PortNo(1), Some(&caches), &mut staged, &snapshot, 0);
             }
             dp.flush_staged(&mut staged);
             black_box(vm2.recv());

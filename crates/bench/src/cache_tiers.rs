@@ -82,8 +82,7 @@ pub struct CacheTierAblation {
 pub fn build(samples: usize) -> CacheTierAblation {
     let dp = Datapath::new(false);
     {
-        let mut table = dp.table.write();
-        table.apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             100,
             vec![Action::Output(PortNo(2))],
@@ -109,7 +108,7 @@ pub fn build(samples: usize) -> CacheTierAblation {
             if i & 16 != 0 {
                 m.ip_proto = Some(17);
             }
-            table.apply(&FlowMod::add(m, 300, vec![Action::Output(PortNo(3))]));
+            dp.table_apply(&FlowMod::add(m, 300, vec![Action::Output(PortNo(3))]));
         }
     }
     CacheTierAblation {

@@ -260,6 +260,11 @@ impl HighwayNode {
             "  lookups={} matched={} (emc={} megaflow={} classifier={}) misses={}\n",
             cs.lookups, cs.matched, cs.emc_hits, cs.megaflow_hits, cs.classifier_hits, cs.misses,
         ));
+        out.push_str(&format!(
+            "  tx_no_port_drops={} fanout_drops={}\n",
+            cs.tx_no_port_drops,
+            dp.fanout_drops.load(std::sync::atomic::Ordering::Relaxed),
+        ));
         out.push_str(&ovs_dp::dump::dump_megaflows(&dp));
         out.push_str("=== highway ===\n");
         match &self.manager {

@@ -89,9 +89,8 @@ struct Replay {
 
 /// The controller's end of a framed OpenFlow control channel.
 ///
-/// This type also serves as the (deprecated) `ControllerHandle`: every
-/// typed helper of the old channel API lives here, now running over real
-/// framed bytes.
+/// Every typed helper of the pre-wire channel API (`add_flow`, `barrier`,
+/// `flow_stats`, …) lives here, now running over real framed bytes.
 pub struct Connection {
     io: Mutex<Io>,
     replay: Mutex<Replay>,

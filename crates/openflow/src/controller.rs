@@ -1,11 +1,12 @@
-//! The switch's end of the control channel, plus compatibility shims.
+//! The switch's end of the control channel.
 //!
 //! [`SwitchLink`] is the byte-stream counterpart of
 //! [`crate::connection::Connection`]: it owns a [`crate::Transport`], cuts
 //! the incoming stream into frames with a [`crate::Framer`] and decodes
-//! them on demand. The old typed-channel API survives one more release as
-//! thin deprecated aliases over the framed path ([`control_link`],
-//! [`ControllerHandle`]) so downstream call sites can migrate gradually.
+//! them on demand. [`framed_link`] wires a connected controller/switch
+//! pair over an in-process byte stream. (The pre-wire typed-channel
+//! aliases `ControllerHandle`/`control_link` are gone; the framed path is
+//! the only control channel.)
 
 use crate::codec::{decode, encode};
 use crate::connection::Connection;
@@ -94,13 +95,6 @@ impl SwitchLink {
     }
 }
 
-/// The controller's end of the control link.
-///
-/// The typed helpers (`add_flow`, `barrier`, `flow_stats`, …) now live on
-/// [`Connection`]; this alias keeps one release of source compatibility.
-#[deprecated(note = "use openflow::Connection (the framed control channel)")]
-pub type ControllerHandle = Connection;
-
 /// Creates a connected controller/switch pair over an in-process framed
 /// byte stream. The connection starts its handshake immediately; the
 /// switch end answers it on its normal poll loop.
@@ -110,12 +104,6 @@ pub fn framed_link() -> (Connection, SwitchLink) {
         Connection::new(Box::new(c_end)),
         SwitchLink::new(Box::new(s_end)),
     )
-}
-
-/// Creates a connected controller/switch pair.
-#[deprecated(note = "use framed_link(); the control channel is now a framed byte stream")]
-pub fn control_link() -> (Connection, SwitchLink) {
-    framed_link()
 }
 
 #[cfg(test)]

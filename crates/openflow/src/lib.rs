@@ -30,8 +30,7 @@ pub mod wire;
 pub use action::Action;
 pub use app::{ControllerApp, ControllerRuntime, LearningSwitch};
 pub use connection::{Connection, ConnectionState, SwitchFeatures};
-#[allow(deprecated)]
-pub use controller::{control_link, framed_link, ControllerHandle, SwitchLink};
+pub use controller::{framed_link, SwitchLink};
 pub use fmatch::FlowMatch;
 pub use framer::Framer;
 pub use messages::{

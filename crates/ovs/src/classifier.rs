@@ -22,6 +22,7 @@ use packet_wire::FlowKey;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+#[derive(Clone)]
 struct Subtable {
     mask: MatchMask,
     /// Projected rule key → rules with that projection, best priority first.
@@ -33,6 +34,10 @@ struct Subtable {
 }
 
 /// The classifier index over a flow table's rules.
+///
+/// Cloning copies the index structure while sharing the rule entries
+/// (`Arc`) — how [`crate::table::FlowTable`] snapshots stay cheap.
+#[derive(Clone)]
 pub struct Classifier {
     subtables: Vec<Subtable>,
 }

@@ -84,7 +84,7 @@ fn fmt_actions(actions: &[Action]) -> String {
 /// Renders the flow table like `ovs-ofctl dump-flows`, one rule per line,
 /// highest priority first (ties by id).
 pub fn dump_flows(dp: &Datapath) -> String {
-    let table = dp.table.read();
+    let table = dp.table();
     let mut rules: Vec<_> = table.rules().to_vec();
     rules.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.id.cmp(&b.id)));
     let mut out = String::new();
@@ -223,12 +223,8 @@ mod tests {
         let mut m = FlowMatch::in_port(PortNo(1));
         m.eth_type = Some(0x0800);
         m.l4_dst = Some(80);
-        dp.table
-            .write()
-            .apply(&FlowMod::add(m, 200, vec![Action::Output(PortNo(2))]).with_cookie(0xbeef));
-        dp.table
-            .write()
-            .apply(&FlowMod::add(FlowMatch::any(), 1, vec![]));
+        dp.table_apply(&FlowMod::add(m, 200, vec![Action::Output(PortNo(2))]).with_cookie(0xbeef));
+        dp.table_apply(&FlowMod::add(FlowMatch::any(), 1, vec![]));
 
         let dump = dump_flows(&dp);
         let lines: Vec<&str> = dump.lines().collect();
@@ -268,9 +264,7 @@ mod tests {
         dp.add_port(crate::port::OvsPort::dpdkr(PortNo(2), "m2", sw2));
         let mut m = FlowMatch::in_port(PortNo(1));
         m.l4_dst = Some(80);
-        dp.table
-            .write()
-            .apply(&FlowMod::add(m, 10, vec![Action::Output(PortNo(2))]));
+        dp.table_apply(&FlowMod::add(m, 10, vec![Action::Output(PortNo(2))]));
 
         let caches = Arc::new(Mutex::new(PmdCaches::new()));
         dp.register_pmd_caches(&caches);
@@ -280,7 +274,7 @@ mod tests {
                 .build(),
         ))
         .unwrap();
-        crate::pmd::pump_once(&dp, Some(&mut caches.lock()));
+        crate::pmd::pump_once(&dp, Some(&*caches));
 
         let dump = dump_megaflows(&dp);
         assert!(dump.contains("pmd 0: 1 megaflows"), "{dump}");

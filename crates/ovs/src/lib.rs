@@ -17,7 +17,10 @@
 //!   unwildcarding mask the classifier accumulated, invalidated by the
 //!   same table generation.
 //! * [`actions`] — action execution: header rewrites and output.
-//! * [`pmd`] — the poll-mode datapath loop servicing every port.
+//! * [`pmd`] — the poll-mode datapath: N PMD threads, each owning private
+//!   caches and a share of the ports, resharding rx bursts to the flow's
+//!   RSS owner over SPSC rings and classifying against a lock-free
+//!   RCU-style flow-table snapshot.
 //! * [`ofproto`] — the OpenFlow agent: decodes controller messages, applies
 //!   flow_mods, answers statistics (optionally *augmented* by an external
 //!   provider — the hook the paper's shared-memory stats use), and emits
@@ -45,7 +48,10 @@ pub mod vswitchd;
 
 pub use megaflow::{Megaflow, MegaflowRow};
 pub use ofproto::{FlowTableObserver, Ofproto, RuleSnapshot, StatsAugmenter};
-pub use pmd::{CacheTier, CacheTierStats, PmdCaches, PmdThread};
+pub use pmd::{
+    build_fanout_mesh, rss_owner, CacheTier, CacheTierStats, FanoutBatch, PmdCaches, PmdFanout,
+    PmdThread,
+};
 pub use port::{OvsPort, PortBackend, PortCounters};
 pub use table::{FlowTable, RuleEntry, TableChange};
 pub use vswitchd::{VSwitchd, VSwitchdConfig};

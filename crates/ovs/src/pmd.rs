@@ -5,15 +5,24 @@
 //! Classification is *burst-batched*: a received burst is grouped by flow
 //! key and each group resolves through the cache hierarchy once, so a
 //! 32-packet burst of one flow costs one lookup, not thirty-two.
+//!
+//! The datapath shards across N PMD threads (see `docs/datapath.md`):
+//! every polled burst is re-sharded by an RSS-style flow hash
+//! ([`rss_owner`]) over per-PMD SPSC rings ([`build_fanout_mesh`]), so
+//! each flow is always classified by the same PMD against that PMD's own
+//! caches. The shared [`FlowTable`] sits behind an RCU-style snapshot
+//! ([`Datapath::table`]): writers clone-and-publish an `Arc<FlowTable>`,
+//! readers revalidate a cached `Arc` against the shared generation — the
+//! classify path never takes the write-side lock.
 
 use crate::actions::{execute, OutputTarget};
 use crate::emc::{Emc, DEFAULT_EMC_ENTRIES};
 use crate::megaflow::{Megaflow, MegaflowRow, DEFAULT_MEGAFLOW_ENTRIES};
 use crate::port::OvsPort;
-use crate::table::{FlowTable, RuleEntry};
+use crate::table::{FlowTable, RuleEntry, TableChange};
 use crossbeam::channel::{Receiver, Sender, TrySendError};
-use dpdk_sim::{cycles, Mbuf, DEFAULT_BURST};
-use openflow::messages::{PacketIn, PacketInReason};
+use dpdk_sim::{cycles, spsc_ring, Mbuf, SpscConsumer, SpscProducer, DEFAULT_BURST};
+use openflow::messages::{FlowMod, PacketIn, PacketInReason};
 use openflow::PortNo;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -34,6 +43,10 @@ pub struct PmdCaches {
     /// Rolling megaflow-hit counter driving 1-in-[`EMC_PROMOTION_INTERVAL`]
     /// EMC promotion.
     emc_promotion_tick: u64,
+    /// This PMD's cached flow-table snapshot (the RCU read side). Refreshed
+    /// by [`PmdCaches::table_snapshot`] only when the shared generation
+    /// moved, so steady-state classification touches no lock at all.
+    table: Option<Arc<FlowTable>>,
 }
 
 impl Default for PmdCaches {
@@ -55,7 +68,29 @@ impl PmdCaches {
             emc: Emc::new(emc_entries),
             megaflow: Megaflow::new(megaflow_entries),
             emc_promotion_tick: 0,
+            table: None,
         }
+    }
+
+    /// Returns a flow-table snapshot current as of this call, refreshing
+    /// the cached `Arc` only when the shared generation moved since the
+    /// last refresh. The EMC/megaflow entries this PMD holds were stamped
+    /// with snapshot generations, so a refresh implicitly invalidates them:
+    /// their stamps no longer equal the new snapshot's `as_of`.
+    fn table_snapshot(&mut self, dp: &Datapath) -> Arc<FlowTable> {
+        let live = dp.table_generation();
+        let fresh = matches!(&self.table, Some(t) if t.as_of() == live);
+        if !fresh {
+            self.table = Some(dp.table());
+        }
+        Arc::clone(self.table.as_ref().expect("just populated"))
+    }
+
+    /// Generation of the snapshot this PMD currently holds (`None` before
+    /// the first classification). The multi-PMD coherence tests assert this
+    /// catches up with the live generation after `flow_mod` churn.
+    pub fn snapshot_generation(&self) -> Option<u64> {
+        self.table.as_ref().map(|t| t.as_of())
     }
 }
 
@@ -86,12 +121,25 @@ pub struct CacheTierStats {
     pub classifier_hits: u64,
     /// Packets that matched no rule (dropped or punted, per miss policy).
     pub misses: u64,
+    /// Packets dropped at transmit because their destination port vanished
+    /// between classification and flush. Post-match, so it does not perturb
+    /// the `lookups`/`matched` identities above.
+    pub tx_no_port_drops: u64,
 }
 
 /// Shared datapath state: the port table and the flow table.
 pub struct Datapath {
     pub ports: RwLock<BTreeMap<PortNo, Arc<OvsPort>>>,
-    pub table: RwLock<FlowTable>,
+    /// Write-side master flow table. Control-plane only: every mutation
+    /// goes through [`Datapath::table_apply`]/[`Datapath::table_sweep`],
+    /// which republish a fresh snapshot; readers use [`Datapath::table`].
+    master: Mutex<FlowTable>,
+    /// RCU-style publication slot holding the latest immutable snapshot.
+    snapshot: RwLock<Arc<FlowTable>>,
+    /// The shared generation counter (the same cell the master table
+    /// bumps); PMDs compare their cached snapshot's `as_of` against it
+    /// lock-free to detect staleness.
+    table_generation: Arc<AtomicU64>,
     /// Bumped whenever the port set changes (PMD refreshes its snapshot).
     pub ports_generation: AtomicU64,
     /// Table lookups performed: every processed packet counts exactly one,
@@ -109,6 +157,12 @@ pub struct Datapath {
     pub classifier_hits: AtomicU64,
     /// Packets dropped because no rule matched (miss policy = drop).
     pub miss_drops: AtomicU64,
+    /// Packets dropped at transmit because the staged destination port had
+    /// been removed by the time [`Datapath::flush_staged`] ran.
+    pub tx_no_port_drops: AtomicU64,
+    /// Packets dropped because an RSS fan-out ring toward a peer PMD
+    /// stayed full past the bounded retry budget.
+    pub fanout_drops: AtomicU64,
     /// Punt misses to the controller instead of dropping.
     pub miss_to_controller: bool,
     packet_in_tx: Sender<PacketIn>,
@@ -126,9 +180,14 @@ impl Datapath {
     /// so either way no misses occur there).
     pub fn new(miss_to_controller: bool) -> Arc<Datapath> {
         let (tx, rx) = crossbeam::channel::bounded(1024);
+        let master = FlowTable::new();
+        let table_generation = master.generation_handle();
+        let snapshot = RwLock::new(Arc::new(master.clone()));
         Arc::new(Datapath {
             ports: RwLock::new(BTreeMap::new()),
-            table: RwLock::new(FlowTable::new()),
+            master: Mutex::new(master),
+            snapshot,
+            table_generation,
             ports_generation: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             matched: AtomicU64::new(0),
@@ -136,12 +195,53 @@ impl Datapath {
             megaflow_hits: AtomicU64::new(0),
             classifier_hits: AtomicU64::new(0),
             miss_drops: AtomicU64::new(0),
+            tx_no_port_drops: AtomicU64::new(0),
+            fanout_drops: AtomicU64::new(0),
             miss_to_controller,
             packet_in_tx: tx,
             packet_in_rx: rx,
             packet_in_drops: AtomicU64::new(0),
             pmd_caches: RwLock::new(Vec::new()),
         })
+    }
+
+    /// The latest published flow-table snapshot (the RCU read side). The
+    /// returned table is immutable; rule entries inside it are shared with
+    /// the master (`Arc`), so counters recorded through a snapshot are
+    /// visible to statistics readers everywhere.
+    pub fn table(&self) -> Arc<FlowTable> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// The live table generation. This moves inside the master-table
+    /// mutation, momentarily before the new snapshot is published; PMDs use
+    /// it as a cheap staleness probe and re-read [`Datapath::table`] when
+    /// their cached snapshot's `as_of` falls behind.
+    pub fn table_generation(&self) -> u64 {
+        self.table_generation.load(Ordering::Acquire)
+    }
+
+    /// Applies a flow_mod to the master table and, if anything changed,
+    /// publishes a fresh snapshot before returning — so a caller that
+    /// mutates and then classifies always observes its own change.
+    pub fn table_apply(&self, fm: &FlowMod) -> TableChange {
+        let mut master = self.master.lock();
+        let change = master.apply(fm);
+        if !change.is_empty() {
+            *self.snapshot.write() = Arc::new(master.clone());
+        }
+        change
+    }
+
+    /// Sweeps rule timeouts on the master table at cycle `now`,
+    /// republishing the snapshot when anything expired.
+    pub fn table_sweep(&self, now: u64) -> TableChange {
+        let mut master = self.master.lock();
+        let change = master.sweep_timeouts(now);
+        if !change.is_empty() {
+            *self.snapshot.write() = Arc::new(master.clone());
+        }
+        change
     }
 
     /// Registers a PMD thread's caches for operator observation
@@ -176,6 +276,7 @@ impl Datapath {
             megaflow_hits: self.megaflow_hits.load(Ordering::Relaxed),
             classifier_hits: self.classifier_hits.load(Ordering::Relaxed),
             misses: lookups.saturating_sub(matched),
+            tx_no_port_drops: self.tx_no_port_drops.load(Ordering::Relaxed),
         }
     }
 
@@ -299,11 +400,14 @@ impl Datapath {
         pkts: u64,
         bytes: u64,
     ) -> (Option<Arc<RuleEntry>>, CacheTier) {
-        let table = self.table.read();
-        let generation = table.generation();
         let Some(caches) = caches else {
-            return (table.lookup(in_port, key), CacheTier::Classifier);
+            return (self.table().lookup(in_port, key), CacheTier::Classifier);
         };
+        let table = caches.table_snapshot(self);
+        // Stamp cache entries with the snapshot's frozen generation, not
+        // the live counter: a snapshot one publish behind must prime the
+        // caches under *its* generation or it would serve stale actions.
+        let generation = table.as_of();
         if let Some(rule) = caches.emc.lookup(in_port, key, generation) {
             return (Some(rule), CacheTier::Emc);
         }
@@ -346,11 +450,16 @@ impl Datapath {
     /// each group resolves through [`Datapath::classify`] once and its
     /// packets then execute the matched actions in sequence (relative order
     /// within a flow is preserved; the burst drains completely).
+    ///
+    /// `caches` is locked once *per lookup group*, never across the whole
+    /// burst, so an operator snapshot (`dump_megaflows`, `status_report`)
+    /// contends for at most one cache resolution instead of stalling the
+    /// hot path for an entire burst.
     pub fn process_burst(
         &self,
         burst: &mut Vec<Mbuf>,
         in_port: PortNo,
-        mut caches: Option<&mut PmdCaches>,
+        caches: Option<&Mutex<PmdCaches>>,
         staged: &mut BTreeMap<PortNo, Vec<Mbuf>>,
         port_snapshot: &[Arc<OvsPort>],
         now: u64,
@@ -380,7 +489,13 @@ impl Datapath {
                     }
                 }
             }
-            let (rule, tier) = self.classify(in_port, &key, caches.as_deref_mut(), n, bytes);
+            let (rule, tier) = match caches {
+                Some(m) => {
+                    let mut guard = m.lock();
+                    self.classify(in_port, &key, Some(&mut guard), n, bytes)
+                }
+                None => self.classify(in_port, &key, None, n, bytes),
+            };
             self.lookups.fetch_add(n, Ordering::Relaxed);
             match rule {
                 Some(rule) => {
@@ -426,7 +541,7 @@ impl Datapath {
         &self,
         pkt: Mbuf,
         in_port: PortNo,
-        caches: Option<&mut PmdCaches>,
+        caches: Option<&Mutex<PmdCaches>>,
         staged: &mut BTreeMap<PortNo, Vec<Mbuf>>,
         port_snapshot: &[Arc<OvsPort>],
         now: u64,
@@ -436,24 +551,137 @@ impl Datapath {
     }
 
     /// Flushes staged packets to their ports (dropping on full rings).
+    /// Packets staged for a port that vanished since classification are
+    /// counted in [`Datapath::tx_no_port_drops`] and their key is removed
+    /// from `staged` — dead ports must not pin map entries forever across
+    /// PMD iterations.
     pub fn flush_staged(&self, staged: &mut BTreeMap<PortNo, Vec<Mbuf>>) {
         let ports = self.ports.read();
-        for (dest, pkts) in staged.iter_mut() {
-            if pkts.is_empty() {
-                continue;
+        staged.retain(|dest, pkts| match ports.get(dest) {
+            Some(port) => {
+                if !pkts.is_empty() {
+                    port.tx_burst_or_drop(pkts);
+                }
+                true
             }
-            match ports.get(dest) {
-                Some(port) => port.tx_burst_or_drop(pkts),
-                None => pkts.clear(), // port vanished: drop
+            None => {
+                self.tx_no_port_drops
+                    .fetch_add(pkts.len() as u64, Ordering::Relaxed);
+                false
             }
+        });
+    }
+}
+
+/// The PMD that owns a flow under RSS sharding: a deterministic hash of
+/// `(in_port, 5-tuple key)` modulo the PMD count. Every dispatching PMD
+/// must agree on the owner, so this uses `DefaultHasher::new()` (fixed
+/// keys — identical across threads) rather than a per-instance-randomised
+/// hasher. Flow→PMD affinity keeps per-flow packet order and gives each
+/// flow one home cache.
+pub fn rss_owner(in_port: PortNo, key: &packet_wire::FlowKey, total: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    if total <= 1 {
+        return 0;
+    }
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    in_port.0.hash(&mut h);
+    key.hash(&mut h);
+    (h.finish() % total as u64) as usize
+}
+
+/// Capacity (in batches) of each PMD→PMD fan-out ring.
+pub const FANOUT_RING_BATCHES: usize = 1024;
+
+/// Bounded enqueue retries toward a full peer ring before the batch is
+/// dropped (counted in [`Datapath::fanout_drops`]). Bounded so two PMDs
+/// flooding each other's full rings cannot livelock the dispatch loops.
+const FANOUT_ENQUEUE_RETRIES: usize = 1024;
+
+/// Batches drained from the fan-out inbox per PMD iteration, so a flood
+/// from one peer cannot starve the PMD's own port polling.
+const FANOUT_INBOX_BATCHES_PER_ITER: usize = 64;
+
+/// One RSS-dispatched unit: packets of flows owned by the receiving PMD,
+/// all received on `in_port`.
+pub struct FanoutBatch {
+    pub in_port: PortNo,
+    pub pkts: Vec<Mbuf>,
+}
+
+/// One PMD's endpoints of the N×N SPSC fan-out mesh built by
+/// [`build_fanout_mesh`]: a producer toward every peer and a consumer from
+/// every peer.
+pub struct PmdFanout {
+    /// `producers[j]` feeds PMD `j`; `None` at this PMD's own index.
+    producers: Vec<Option<SpscProducer<FanoutBatch>>>,
+    consumers: Vec<SpscConsumer<FanoutBatch>>,
+    /// Round-robin drain cursor over `consumers` (fairness across peers).
+    next: usize,
+}
+
+impl PmdFanout {
+    /// Hands a batch to its owner PMD's ring, yielding on a full ring for
+    /// a bounded number of retries before dropping (counted on `dp`).
+    fn send(&mut self, owner: usize, batch: FanoutBatch, dp: &Datapath) {
+        let producer = self.producers[owner]
+            .as_mut()
+            .expect("fan-out send to own index");
+        if let Err(dropped) = producer.enqueue_yielding(batch, FANOUT_ENQUEUE_RETRIES) {
+            dp.fanout_drops
+                .fetch_add(dropped.pkts.len() as u64, Ordering::Relaxed);
         }
     }
+
+    /// The next queued batch from any peer, round-robin across consumers.
+    fn recv(&mut self) -> Option<FanoutBatch> {
+        let n = self.consumers.len();
+        for _ in 0..n {
+            let idx = self.next;
+            self.next = (self.next + 1) % n;
+            if let Some(batch) = self.consumers[idx].dequeue() {
+                return Some(batch);
+            }
+        }
+        None
+    }
+}
+
+/// Builds the N×N mesh of SPSC rings connecting `total` PMDs; element `i`
+/// of the result belongs to PMD `i`. Each ordered pair of distinct PMDs
+/// gets its own single-producer/single-consumer ring, so no fan-out path
+/// ever shares an endpoint between threads.
+pub fn build_fanout_mesh(total: usize) -> Vec<PmdFanout> {
+    let mut producers: Vec<Vec<Option<SpscProducer<FanoutBatch>>>> = (0..total)
+        .map(|_| (0..total).map(|_| None).collect())
+        .collect();
+    let mut consumers: Vec<Vec<SpscConsumer<FanoutBatch>>> =
+        (0..total).map(|_| Vec::with_capacity(total)).collect();
+    for (from, row) in producers.iter_mut().enumerate() {
+        for (to, slot) in row.iter_mut().enumerate() {
+            if from == to {
+                continue;
+            }
+            let (tx, rx) = spsc_ring(FANOUT_RING_BATCHES);
+            *slot = Some(tx);
+            consumers[to].push(rx);
+        }
+    }
+    producers
+        .into_iter()
+        .zip(consumers)
+        .map(|(producers, consumers)| PmdFanout {
+            producers,
+            consumers,
+            next: 0,
+        })
+        .collect()
 }
 
 /// One synchronous burst-batched PMD iteration over every port — the body
 /// of [`PmdThread::run`] minus the thread, for deterministic unit tests.
 #[cfg(test)]
-pub(crate) fn pump_once(dp: &Datapath, mut caches: Option<&mut PmdCaches>) {
+pub(crate) fn pump_once(dp: &Datapath, caches: Option<&Mutex<PmdCaches>>) {
     let snapshot: Vec<Arc<OvsPort>> = dp.ports.read().values().cloned().collect();
     let mut staged = BTreeMap::new();
     let now = cycles::now();
@@ -461,14 +689,7 @@ pub(crate) fn pump_once(dp: &Datapath, mut caches: Option<&mut PmdCaches>) {
         let mut rx = Vec::new();
         port.rx_burst(&mut rx, DEFAULT_BURST);
         if !rx.is_empty() {
-            dp.process_burst(
-                &mut rx,
-                port.no,
-                caches.as_deref_mut(),
-                &mut staged,
-                &snapshot,
-                now,
-            );
+            dp.process_burst(&mut rx, port.no, caches, &mut staged, &snapshot, now);
         }
     }
     dp.flush_staged(&mut staged);
@@ -477,7 +698,9 @@ pub(crate) fn pump_once(dp: &Datapath, mut caches: Option<&mut PmdCaches>) {
 /// A PMD thread: polls its share of the ports in round-robin. With one
 /// thread (the default) this is a single-core OVS-DPDK deployment; with
 /// several, ports are partitioned round-robin like default
-/// `pmd-rxq-affinity`.
+/// `pmd-rxq-affinity`, and — when a fan-out mesh is attached — polled
+/// bursts are re-sharded by flow hash so every flow is classified by its
+/// owner PMD against that PMD's caches.
 pub struct PmdThread {
     dp: Arc<Datapath>,
     stop: Arc<AtomicBool>,
@@ -485,6 +708,9 @@ pub struct PmdThread {
     index: usize,
     /// Total PMD threads sharing the ports.
     total: usize,
+    /// RSS fan-out endpoints; `None` means this PMD keeps every flow it
+    /// polls (single-PMD deployments and port-partitioned legacy shares).
+    fanout: Option<PmdFanout>,
     /// Polling iterations performed (idle or not).
     pub iterations: Arc<AtomicU64>,
 }
@@ -496,7 +722,8 @@ impl PmdThread {
     }
 
     /// Creates PMD `index` of `total`, polling ports whose position in the
-    /// ascending port order is `index` modulo `total`.
+    /// ascending port order is `index` modulo `total`. Without a fan-out
+    /// mesh, flows stay on whichever PMD polls their ingress port.
     pub fn with_share(
         dp: Arc<Datapath>,
         stop: Arc<AtomicBool>,
@@ -509,18 +736,40 @@ impl PmdThread {
             stop,
             index,
             total,
+            fanout: None,
             iterations: Arc::new(AtomicU64::new(0)),
         }
     }
 
+    /// Creates PMD `index` of `total` with its endpoints of the RSS
+    /// fan-out mesh (element `index` of [`build_fanout_mesh`]`(total)`):
+    /// polled bursts are partitioned by [`rss_owner`], remote flows ride
+    /// the SPSC rings to their owner, and batches re-sharded here by peers
+    /// are drained each iteration.
+    pub fn with_fanout(
+        dp: Arc<Datapath>,
+        stop: Arc<AtomicBool>,
+        index: usize,
+        total: usize,
+        fanout: PmdFanout,
+    ) -> PmdThread {
+        let mut pmd = PmdThread::with_share(dp, stop, index, total);
+        pmd.fanout = Some(fanout);
+        pmd
+    }
+
     /// Runs until the stop flag is raised. Yields when fully idle so the
     /// reproduction behaves on machines with fewer cores than the testbed.
-    pub fn run(self) {
+    pub fn run(mut self) {
         // Per-PMD caches, shared with the datapath for operator dumps. The
-        // lock is uncontended except when an operator snapshot runs.
+        // lock is taken per lookup group (inside process_burst), never
+        // across a whole burst, so an operator snapshot cannot stall the
+        // hot path for more than one cache resolution.
         let caches = Arc::new(Mutex::new(PmdCaches::new()));
         self.dp.register_pmd_caches(&caches);
         let mut rx_buf: Vec<Mbuf> = Vec::with_capacity(DEFAULT_BURST);
+        let mut local: Vec<Mbuf> = Vec::with_capacity(DEFAULT_BURST);
+        let mut remote: Vec<Vec<Mbuf>> = (0..self.total).map(|_| Vec::new()).collect();
         let mut staged: BTreeMap<PortNo, Vec<Mbuf>> = BTreeMap::new();
         let mut snapshot: Vec<Arc<OvsPort>> = Vec::new();
         let mut mine: Vec<Arc<OvsPort>> = Vec::new();
@@ -547,16 +796,71 @@ impl PmdThread {
                     continue;
                 }
                 idle = false;
-                self.dp.process_burst(
-                    &mut rx_buf,
-                    port.no,
-                    Some(&mut caches.lock()),
-                    &mut staged,
-                    &snapshot,
-                    now,
-                );
-                self.dp.flush_staged(&mut staged);
+                match &mut self.fanout {
+                    Some(fanout) => {
+                        // RSS dispatch: partition the burst by owner PMD.
+                        // The owner re-extracts the key during its own
+                        // grouped classification — the extra extraction
+                        // buys lock-free per-flow cache affinity.
+                        local.clear();
+                        for pkt in rx_buf.drain(..) {
+                            let key = packet_wire::FlowKey::extract(pkt.data());
+                            let owner = rss_owner(port.no, &key, self.total);
+                            if owner == self.index {
+                                local.push(pkt);
+                            } else {
+                                remote[owner].push(pkt);
+                            }
+                        }
+                        for (owner, pkts) in remote.iter_mut().enumerate() {
+                            if !pkts.is_empty() {
+                                let batch = FanoutBatch {
+                                    in_port: port.no,
+                                    pkts: std::mem::take(pkts),
+                                };
+                                fanout.send(owner, batch, &self.dp);
+                            }
+                        }
+                        if !local.is_empty() {
+                            self.dp.process_burst(
+                                &mut local,
+                                port.no,
+                                Some(&*caches),
+                                &mut staged,
+                                &snapshot,
+                                now,
+                            );
+                        }
+                    }
+                    None => {
+                        self.dp.process_burst(
+                            &mut rx_buf,
+                            port.no,
+                            Some(&*caches),
+                            &mut staged,
+                            &snapshot,
+                            now,
+                        );
+                    }
+                }
             }
+            if let Some(fanout) = &mut self.fanout {
+                for _ in 0..FANOUT_INBOX_BATCHES_PER_ITER {
+                    let Some(mut batch) = fanout.recv() else {
+                        break;
+                    };
+                    idle = false;
+                    self.dp.process_burst(
+                        &mut batch.pkts,
+                        batch.in_port,
+                        Some(&*caches),
+                        &mut staged,
+                        &snapshot,
+                        now,
+                    );
+                }
+            }
+            self.dp.flush_staged(&mut staged);
             self.iterations.fetch_add(1, Ordering::Relaxed);
             if idle {
                 std::thread::yield_now();
@@ -598,7 +902,7 @@ mod tests {
     #[test]
     fn forwards_along_installed_rule() {
         let (dp, mut vm1, mut vm2) = two_port_dp(false);
-        dp.table.write().apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             10,
             vec![Action::Output(PortNo(2))],
@@ -608,7 +912,7 @@ mod tests {
         assert_eq!(vm2.recv().unwrap().len(), 64);
         assert!(vm1.recv().is_none());
         // Rule counters ticked.
-        let table = dp.table.read();
+        let table = dp.table();
         let rule = &table.rules()[0];
         assert_eq!(rule.counters(), (1, 64));
     }
@@ -638,7 +942,7 @@ mod tests {
         let (dp, mut vm1, mut vm2) = two_port_dp(false);
         let (sw3, mut vm3) = channel("dpdkr3", 64);
         dp.add_port(OvsPort::dpdkr(PortNo(3), "dpdkr3", sw3));
-        dp.table.write().apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::any(),
             1,
             vec![Action::Output(PortNo::FLOOD)],
@@ -653,7 +957,7 @@ mod tests {
     #[test]
     fn controller_action_punts_and_still_forwards() {
         let (dp, mut vm1, mut vm2) = two_port_dp(false);
-        dp.table.write().apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             10,
             vec![
@@ -670,7 +974,7 @@ mod tests {
     #[test]
     fn pmd_thread_moves_traffic_end_to_end() {
         let (dp, mut vm1, mut vm2) = two_port_dp(false);
-        dp.table.write().apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             10,
             vec![Action::Output(PortNo(2))],
@@ -703,7 +1007,7 @@ mod tests {
     }
 
     /// One synchronous burst-batched PMD iteration with the given caches.
-    fn pump_with_caches(dp: &Arc<Datapath>, caches: &mut PmdCaches) {
+    fn pump_with_caches(dp: &Arc<Datapath>, caches: &Mutex<PmdCaches>) {
         pump_once(dp, Some(caches));
     }
 
@@ -713,12 +1017,12 @@ mod tests {
     #[test]
     fn stats_split_by_tier_is_consistent() {
         let (dp, mut vm1, _vm2) = two_port_dp(false);
-        dp.table.write().apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             10,
             vec![Action::Output(PortNo(2))],
         ));
-        let mut caches = PmdCaches::new();
+        let caches = Mutex::new(PmdCaches::new());
 
         // Burst 1: two packets of one flow + one of another → grouped
         // classification resolves each group once, in the classifier.
@@ -730,7 +1034,7 @@ mod tests {
             ))
             .unwrap();
         }
-        pump_with_caches(&dp, &mut caches);
+        pump_with_caches(&dp, &caches);
         let s = dp.cache_stats();
         assert_eq!(s.lookups, 3, "every packet is one lookup");
         assert_eq!(s.matched, 3);
@@ -740,7 +1044,11 @@ mod tests {
         assert_eq!(s.megaflow_hits, 1);
         assert_eq!(s.emc_hits, 0);
         // The caches resolved once per *group*, not per packet.
-        assert_eq!(caches.emc.stats().1, 2, "one EMC miss per flow group");
+        assert_eq!(
+            caches.lock().emc.stats().1,
+            2,
+            "one EMC miss per flow group"
+        );
 
         // Burst 2: the same flows again → EMC hits.
         for seq in [1u64, 2] {
@@ -751,7 +1059,7 @@ mod tests {
             ))
             .unwrap();
         }
-        pump_with_caches(&dp, &mut caches);
+        pump_with_caches(&dp, &caches);
         let s = dp.cache_stats();
         assert_eq!(s.lookups, 5);
         assert_eq!(s.matched, 5);
@@ -760,9 +1068,9 @@ mod tests {
 
         // A miss (no rule for port 2 traffic is irrelevant here: remove the
         // rule) keeps the identity lookups == matched + misses.
-        dp.table.write().apply(&FlowMod::delete(FlowMatch::any()));
+        dp.table_apply(&FlowMod::delete(FlowMatch::any()));
         vm1.send(probe()).unwrap();
-        pump_with_caches(&dp, &mut caches);
+        pump_with_caches(&dp, &caches);
         let s = dp.cache_stats();
         assert_eq!(s.lookups, 6);
         assert_eq!(s.matched, 5);
@@ -777,18 +1085,18 @@ mod tests {
     #[test]
     fn megaflow_serves_new_flows_of_a_cached_aggregate() {
         let (dp, mut vm1, mut vm2) = two_port_dp(false);
-        dp.table.write().apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             10,
             vec![Action::Output(PortNo(2))],
         ));
-        let mut caches = PmdCaches::new();
+        let caches = Mutex::new(PmdCaches::new());
 
         vm1.send(Mbuf::from_slice(
             &PacketBuilder::udp_probe(64).ports(1000, 1).build(),
         ))
         .unwrap();
-        pump_with_caches(&dp, &mut caches);
+        pump_with_caches(&dp, &caches);
         assert_eq!(dp.classifier_hits.load(Ordering::Relaxed), 1);
 
         // A different 5-tuple, same in_port: the staged mask pinned only
@@ -797,10 +1105,10 @@ mod tests {
             &PacketBuilder::udp_probe(64).ports(2000, 2).build(),
         ))
         .unwrap();
-        pump_with_caches(&dp, &mut caches);
+        pump_with_caches(&dp, &caches);
         assert_eq!(dp.megaflow_hits.load(Ordering::Relaxed), 1);
         assert_eq!(dp.classifier_hits.load(Ordering::Relaxed), 1);
-        assert_eq!(caches.megaflow.mask_count(), 1);
+        assert_eq!(caches.lock().megaflow.mask_count(), 1);
         assert!(vm2.recv().is_some() && vm2.recv().is_some());
 
         // And the megaflow hit promoted the new flow into the EMC.
@@ -808,7 +1116,7 @@ mod tests {
             &PacketBuilder::udp_probe(64).ports(2000, 2).build(),
         ))
         .unwrap();
-        pump_with_caches(&dp, &mut caches);
+        pump_with_caches(&dp, &caches);
         assert_eq!(dp.emc_hits.load(Ordering::Relaxed), 1);
     }
 
@@ -819,25 +1127,25 @@ mod tests {
         let (dp, mut vm1, mut vm2) = two_port_dp(false);
         let (sw3, mut vm3) = channel("dpdkr3", 64);
         dp.add_port(OvsPort::dpdkr(PortNo(3), "dpdkr3", sw3));
-        dp.table.write().apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             10,
             vec![Action::Output(PortNo(2))],
         ));
-        let mut caches = PmdCaches::new();
+        let caches = Mutex::new(PmdCaches::new());
         vm1.send(probe()).unwrap();
-        pump_with_caches(&dp, &mut caches);
+        pump_with_caches(&dp, &caches);
         assert!(vm2.recv().is_some());
-        assert!(!caches.megaflow.is_empty());
+        assert!(!caches.lock().megaflow.is_empty());
 
         // Re-add with new actions (same match+priority ⇒ replace).
-        dp.table.write().apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             10,
             vec![Action::Output(PortNo(3))],
         ));
         vm1.send(probe()).unwrap();
-        pump_with_caches(&dp, &mut caches);
+        pump_with_caches(&dp, &caches);
         assert!(vm2.recv().is_none(), "stale cached action served");
         assert!(vm3.recv().is_some(), "new action not applied");
     }
@@ -845,7 +1153,7 @@ mod tests {
     #[test]
     fn in_port_target_hairpins() {
         let (dp, mut vm1, _vm2) = two_port_dp(false);
-        dp.table.write().apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             10,
             vec![Action::Output(PortNo::IN_PORT)],
@@ -858,14 +1166,143 @@ mod tests {
     #[test]
     fn remove_port_stops_delivery() {
         let (dp, mut vm1, _vm2) = two_port_dp(false);
-        dp.table.write().apply(&FlowMod::add(
+        dp.table_apply(&FlowMod::add(
             FlowMatch::in_port(PortNo(1)),
             10,
             vec![Action::Output(PortNo(2))],
         ));
         dp.remove_port(PortNo(2));
         vm1.send(probe()).unwrap();
-        pump(&dp); // staged for a vanished port: dropped, no panic
+        pump(&dp); // staged for a vanished port: dropped (and counted)
         assert_eq!(dp.port_numbers(), vec![PortNo(1)]);
+        assert_eq!(dp.cache_stats().tx_no_port_drops, 1);
+    }
+
+    #[test]
+    fn flush_staged_counts_drops_and_evicts_dead_keys() {
+        let (dp, _vm1, _vm2) = two_port_dp(false);
+        let mut staged: BTreeMap<PortNo, Vec<Mbuf>> = BTreeMap::new();
+        staged.insert(PortNo(99), vec![probe(), probe()]);
+        staged.insert(PortNo(1), Vec::new());
+        dp.flush_staged(&mut staged);
+        assert_eq!(dp.tx_no_port_drops.load(Ordering::Relaxed), 2);
+        assert!(
+            !staged.contains_key(&PortNo(99)),
+            "dead PortNo key must not be retained across iterations"
+        );
+        assert!(
+            staged.contains_key(&PortNo(1)),
+            "live port keys are kept for buffer reuse"
+        );
+    }
+
+    #[test]
+    fn rss_owner_is_deterministic_and_in_range() {
+        for total in [1usize, 2, 4, 7] {
+            for port in [1u16, 2, 3] {
+                for l4 in 0..64u16 {
+                    let key = packet_wire::FlowKey::extract(
+                        &PacketBuilder::udp_probe(64).ports(1000 + l4, 80).build(),
+                    );
+                    let a = rss_owner(PortNo(port), &key, total);
+                    let b = rss_owner(PortNo(port), &key, total);
+                    assert_eq!(a, b, "owner must be stable for a flow");
+                    assert!(a < total);
+                }
+            }
+        }
+        // With several PMDs, distinct flows must actually spread out.
+        let owners: std::collections::BTreeSet<usize> = (0..256u16)
+            .map(|l4| {
+                let key = packet_wire::FlowKey::extract(
+                    &PacketBuilder::udp_probe(64).ports(1000 + l4, 80).build(),
+                );
+                rss_owner(PortNo(1), &key, 4)
+            })
+            .collect();
+        assert_eq!(owners.len(), 4, "256 flows must cover all 4 PMDs");
+    }
+
+    #[test]
+    fn fanout_mesh_routes_batches_between_pmds() {
+        let dp = Datapath::new(false);
+        let mut mesh = build_fanout_mesh(3);
+        let mut c = mesh.pop().unwrap(); // PMD 2
+        let mut b = mesh.pop().unwrap(); // PMD 1
+        let mut a = mesh.pop().unwrap(); // PMD 0
+        a.send(
+            2,
+            FanoutBatch {
+                in_port: PortNo(7),
+                pkts: vec![probe()],
+            },
+            &dp,
+        );
+        b.send(
+            2,
+            FanoutBatch {
+                in_port: PortNo(8),
+                pkts: vec![probe(), probe()],
+            },
+            &dp,
+        );
+        let mut got: Vec<(PortNo, usize)> = Vec::new();
+        while let Some(batch) = c.recv() {
+            got.push((batch.in_port, batch.pkts.len()));
+        }
+        got.sort();
+        assert_eq!(got, vec![(PortNo(7), 1), (PortNo(8), 2)]);
+        assert!(a.recv().is_none(), "nothing was sent toward PMD 0");
+        assert_eq!(dp.fanout_drops.load(Ordering::Relaxed), 0);
+    }
+
+    /// Four PMDs with an RSS fan-out mesh move a many-flow workload
+    /// losslessly, and flows cached on remote PMDs still observe table
+    /// changes (the snapshot refresh) — end to end through real threads.
+    #[test]
+    fn fanout_pmds_move_traffic_end_to_end() {
+        let (dp, mut vm1, mut vm2) = two_port_dp(false);
+        dp.table_apply(&FlowMod::add(
+            FlowMatch::in_port(PortNo(1)),
+            10,
+            vec![Action::Output(PortNo(2))],
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let total = 4;
+        let mut handles = Vec::new();
+        for (i, fanout) in build_fanout_mesh(total).into_iter().enumerate() {
+            let pmd = PmdThread::with_fanout(Arc::clone(&dp), Arc::clone(&stop), i, total, fanout);
+            handles.push(std::thread::spawn(move || pmd.run()));
+        }
+
+        let n = 96u16;
+        for i in 0..n {
+            // Distinct 5-tuples so the RSS hash spreads flows across PMDs.
+            let mut m = Mbuf::from_slice(&PacketBuilder::udp_probe(64).ports(1000 + i, 80).build());
+            m.udata = u64::from(i);
+            while vm1.send(m).is_err() {
+                m = Mbuf::from_slice(&PacketBuilder::udp_probe(64).ports(1000 + i, 80).build());
+                m.udata = u64::from(i);
+                std::thread::yield_now();
+            }
+        }
+        let mut got = 0;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while got < usize::from(n) && std::time::Instant::now() < deadline {
+            if vm2.recv().is_some() {
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got, usize::from(n));
+        assert_eq!(dp.fanout_drops.load(Ordering::Relaxed), 0);
+        let s = dp.cache_stats();
+        assert_eq!(s.lookups, u64::from(n));
+        assert_eq!(s.matched, u64::from(n));
     }
 }

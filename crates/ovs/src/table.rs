@@ -131,11 +131,34 @@ impl TableChange {
 }
 
 /// The flow table plus its classifier index.
+///
+/// Cloning produces a *snapshot*: rule entries stay shared (`Arc`, so
+/// counters recorded through a snapshot are visible everywhere), the
+/// classifier index is copied, and the generation cell stays shared so the
+/// snapshot can be compared against the live counter. The datapath
+/// publishes such snapshots RCU-style (see `Datapath::table` in
+/// `crate::pmd`) so classify-path reads never touch the write-side lock.
 pub struct FlowTable {
     rules: Vec<Arc<RuleEntry>>,
     classifier: Classifier,
     next_id: u64,
     generation: Arc<AtomicU64>,
+    /// Generation this instance reflects. On the live (master) table it
+    /// tracks the shared counter; on a clone it stays frozen at the value
+    /// current when the snapshot was taken.
+    as_of: u64,
+}
+
+impl Clone for FlowTable {
+    fn clone(&self) -> FlowTable {
+        FlowTable {
+            rules: self.rules.clone(),
+            classifier: self.classifier.clone(),
+            next_id: self.next_id,
+            generation: Arc::clone(&self.generation),
+            as_of: self.as_of,
+        }
+    }
 }
 
 impl Default for FlowTable {
@@ -152,6 +175,7 @@ impl FlowTable {
             classifier: Classifier::new(),
             next_id: 1,
             generation: Arc::new(AtomicU64::new(0)),
+            as_of: 0,
         }
     }
 
@@ -160,13 +184,23 @@ impl FlowTable {
         Arc::clone(&self.generation)
     }
 
-    /// Current generation.
+    /// Current generation (the live shared counter — keeps moving even
+    /// after this instance was snapshotted).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
     }
 
-    fn bump(&self) {
-        self.generation.fetch_add(1, Ordering::Release);
+    /// Generation this instance reflects. Cache entries primed from a
+    /// snapshot must be stamped with this frozen value, never the moving
+    /// [`FlowTable::generation`] — otherwise a stale snapshot could
+    /// populate the EMC/megaflow under a newer generation and serve stale
+    /// actions after a table change.
+    pub fn as_of(&self) -> u64 {
+        self.as_of
+    }
+
+    fn bump(&mut self) {
+        self.as_of = self.generation.fetch_add(1, Ordering::Release) + 1;
     }
 
     /// Number of installed rules.

@@ -218,6 +218,12 @@ proptest! {
     /// change cost, never the matched rule. Every probe runs twice so the
     /// second lookup exercises the warm tiers, and a mid-sequence flow_mod
     /// exercises generation invalidation.
+    ///
+    /// The whole sequence runs under 1-, 2- and 4-PMD sharding: each probe
+    /// is routed to its RSS owner's private caches, so warm hits come from
+    /// per-PMD state validated against the shared RCU-style snapshot
+    /// generation — exactly what `PmdThread::run` does with the fan-out
+    /// mesh.
     #[test]
     fn cache_tiers_agree_with_cold_classifier(
         rules in proptest::collection::vec((flow_match(), 0u16..8), 1..24),
@@ -225,52 +231,60 @@ proptest! {
         mutate_at in 0usize..32,
         extra in (flow_match(), 0u16..8),
     ) {
-        use vnf_highway::ovs::pmd::{Datapath, PmdCaches};
+        use vnf_highway::ovs::pmd::{rss_owner, Datapath, PmdCaches};
 
-        let dp = Datapath::new(false);
-        {
-            let mut table = dp.table.write();
+        for npmds in [1usize, 2, 4] {
+            let dp = Datapath::new(false);
             for (m, p) in &rules {
-                table.apply(&FlowMod::add(*m, *p, vec![Action::Output(PortNo(1))]));
+                dp.table_apply(&FlowMod::add(*m, *p, vec![Action::Output(PortNo(1))]));
             }
-        }
-        let mut caches = PmdCaches::new();
-        for (i, (port, key)) in probes.iter().enumerate() {
-            if i == mutate_at {
-                // A table change mid-stream: both cache tiers must drop
-                // everything resolved under the old generation.
-                dp.table.write().apply(&FlowMod::add(
-                    extra.0,
-                    extra.1,
-                    vec![Action::Output(PortNo(2))],
-                ));
-            }
-            for _round in 0..2 {
-                let (cached, _tier) =
-                    dp.classify(PortNo(*port), key, Some(&mut caches), 1, 64);
-                let (cold, reference) = {
-                    let table = dp.table.read();
-                    let cold = table.lookup(PortNo(*port), key).map(|r| r.id);
-                    let reference = table
-                        .rules()
-                        .iter()
-                        .filter(|r| r.fmatch.matches(PortNo(*port), key))
-                        .max_by(|a, b| {
-                            a.priority
-                                .cmp(&b.priority)
-                                .then(b.id.cmp(&a.id)) // lower id wins ties
-                        })
-                        .map(|r| r.id);
-                    (cold, reference)
-                };
-                prop_assert_eq!(cold, reference, "classifier vs linear scan");
-                prop_assert_eq!(
-                    cached.map(|r| r.id),
-                    reference,
-                    "cache hierarchy diverged from cold walk at probe {} ({:?})",
-                    i,
-                    _tier
-                );
+            let mut pmds: Vec<PmdCaches> =
+                (0..npmds).map(|_| PmdCaches::new()).collect();
+            for (i, (port, key)) in probes.iter().enumerate() {
+                if i == mutate_at {
+                    // A table change mid-stream: every PMD's cache tiers
+                    // must drop everything resolved under the old
+                    // generation, however stale its private snapshot.
+                    dp.table_apply(&FlowMod::add(
+                        extra.0,
+                        extra.1,
+                        vec![Action::Output(PortNo(2))],
+                    ));
+                }
+                let owner = rss_owner(PortNo(*port), key, npmds);
+                for _round in 0..2 {
+                    let (cached, _tier) =
+                        dp.classify(PortNo(*port), key, Some(&mut pmds[owner]), 1, 64);
+                    let (cold, reference) = {
+                        let table = dp.table();
+                        let cold = table.lookup(PortNo(*port), key).map(|r| r.id);
+                        let reference = table
+                            .rules()
+                            .iter()
+                            .filter(|r| r.fmatch.matches(PortNo(*port), key))
+                            .max_by(|a, b| {
+                                a.priority
+                                    .cmp(&b.priority)
+                                    .then(b.id.cmp(&a.id)) // lower id wins ties
+                            })
+                            .map(|r| r.id);
+                        (cold, reference)
+                    };
+                    prop_assert_eq!(cold, reference, "classifier vs linear scan");
+                    prop_assert_eq!(
+                        cached.map(|r| r.id),
+                        reference,
+                        "cache hierarchy diverged from cold walk at probe {} ({:?}, {} PMDs)",
+                        i,
+                        _tier,
+                        npmds
+                    );
+                    // The classifying PMD now holds the freshest snapshot.
+                    prop_assert_eq!(
+                        pmds[owner].snapshot_generation(),
+                        Some(dp.table_generation())
+                    );
+                }
             }
         }
     }
