@@ -255,16 +255,7 @@ impl HighwayNode {
         // megaflow, classifier) resolved the packets the switch did carry,
         // plus the live megaflow aggregates per PMD (`dpctl dump-flows`).
         out.push_str("=== datapath caches ===\n");
-        let cs = dp.cache_stats();
-        out.push_str(&format!(
-            "  lookups={} matched={} (emc={} megaflow={} classifier={}) misses={}\n",
-            cs.lookups, cs.matched, cs.emc_hits, cs.megaflow_hits, cs.classifier_hits, cs.misses,
-        ));
-        out.push_str(&format!(
-            "  tx_no_port_drops={} fanout_drops={}\n",
-            cs.tx_no_port_drops,
-            dp.fanout_drops.load(std::sync::atomic::Ordering::Relaxed),
-        ));
+        out.push_str(&ovs_dp::dump::dump_datapath_stats(&dp));
         out.push_str(&ovs_dp::dump::dump_megaflows(&dp));
         out.push_str("=== highway ===\n");
         match &self.manager {
@@ -292,6 +283,25 @@ impl HighwayNode {
             }
         }
         out
+    }
+
+    /// A structured [`telemetry::TelemetrySnapshot`] of the node's
+    /// datapath: per-PMD perf blocks, stage/tier latency histograms,
+    /// coverage counters and sampled traces. Serialise with `.to_json()`.
+    pub fn telemetry_snapshot(&self) -> telemetry::TelemetrySnapshot {
+        self.switch.telemetry_snapshot()
+    }
+
+    /// `ovs-appctl`-style introspection against a fresh snapshot; commands
+    /// mirror OVS (`pmd-stats-show`, `pmd-perf-show`, `coverage/show`,
+    /// `histograms/show`, `telemetry/json`, `telemetry/prometheus`).
+    pub fn appctl(&self, command: &str) -> String {
+        self.switch.appctl(command)
+    }
+
+    /// The node's metrics in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        telemetry::appctl::prometheus_text(&self.telemetry_snapshot())
     }
 
     /// The highway manager itself (`None` on a vanilla node).

@@ -24,6 +24,7 @@ impl HighwayStatsAugmenter {
 
 impl StatsAugmenter for HighwayStatsAugmenter {
     fn rule_extra(&self, cookie: u64) -> (u64, u64) {
+        telemetry::coverage!("stats_augment_rule");
         self.region.rule_totals(cookie)
     }
 

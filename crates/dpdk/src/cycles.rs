@@ -26,13 +26,21 @@ pub fn now() -> u64 {
 }
 
 /// Converts a cycle delta to wall time at the nominal frequency.
+///
+/// Computed in u128 nanoseconds with rounding, so the result is exact to
+/// the nanosecond for any frequency — not just ones that divide 1 GHz.
 pub fn to_duration(cycles: u64) -> Duration {
-    Duration::from_nanos(cycles / (CPU_HZ / 1_000_000_000))
+    let ns = (u128::from(cycles) * 1_000_000_000 + u128::from(CPU_HZ) / 2) / u128::from(CPU_HZ);
+    Duration::from_nanos(ns.min(u128::from(u64::MAX)) as u64)
 }
 
 /// Converts a wall-time duration to cycles at the nominal frequency.
+///
+/// Same u128 rounding arithmetic as [`to_duration`]; the pair round-trips
+/// to within one cycle.
 pub fn from_duration(d: Duration) -> u64 {
-    (d.as_nanos() as u64).saturating_mul(CPU_HZ / 1_000_000_000)
+    let c = (d.as_nanos() * u128::from(CPU_HZ) + 500_000_000) / 1_000_000_000;
+    c.min(u128::from(u64::MAX)) as u64
 }
 
 #[cfg(test)]
@@ -61,5 +69,30 @@ mod tests {
         let c = from_duration(d);
         assert_eq!(c, 1_500_000);
         assert_eq!(to_duration(c), d);
+    }
+
+    #[test]
+    fn to_duration_does_not_truncate_sub_tick_cycles() {
+        // 1 cycle at 3 GHz is a third of a nanosecond; the old integer
+        // division floored it to 0 ns. Rounded u128 math keeps it visible.
+        assert_eq!(to_duration(1), Duration::from_nanos(0)); // rounds down
+        assert_eq!(to_duration(2), Duration::from_nanos(1)); // rounds up
+        assert_eq!(to_duration(4), Duration::from_nanos(1));
+        assert_eq!(to_duration(5), Duration::from_nanos(2));
+    }
+
+    #[test]
+    fn roundtrip_is_tight_both_ways() {
+        // ns-resolution durations survive a full from/to round trip exactly.
+        for ns in [1u64, 3, 333, 1_000, 123_456_789, 86_400_000_000_000] {
+            let d = Duration::from_nanos(ns);
+            assert_eq!(to_duration(from_duration(d)), d, "ns = {ns}");
+        }
+        // Cycle counts survive to within one cycle (sub-ns information is
+        // genuinely lost at 3 cycles/ns).
+        for c in [1u64, 2, 7, 999, 1_500_000, 3_000_000_000, u64::MAX / 8] {
+            let back = from_duration(to_duration(c));
+            assert!(back.abs_diff(c) <= 1, "c = {c}, back = {back}");
+        }
     }
 }

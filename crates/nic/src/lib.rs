@@ -10,12 +10,15 @@
 //! 10 Gb/s port saturates at 14.88 Mpps with 64 B frames — the ceiling
 //! visible in the paper's Figure 3(b).
 
-pub mod hist;
 pub mod nic;
 pub mod traffic;
 
-pub use hist::LatencyHistogram;
+// The latency histogram was born here for the traffic sink; it now lives
+// in the `telemetry` crate so the datapath's stage/tier histograms share
+// one implementation. Re-exported for source compatibility.
 pub use nic::{LineRate, NicModel, PcieBus};
+pub use telemetry::hist;
+pub use telemetry::LatencyHistogram;
 pub use traffic::{TrafficGen, TrafficSink};
 
 /// Per-frame wire overhead: 8 B preamble/SFD + 12 B inter-frame gap.

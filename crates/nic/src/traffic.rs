@@ -6,10 +6,10 @@
 //! stamp, which [`TrafficSink`] uses to report throughput, loss, reordering
 //! and latency percentiles.
 
-use crate::hist::LatencyHistogram;
 use dpdk_sim::{cycles, Mbuf};
 use packet_wire::{MacAddr, PacketBuilder, ProbeHeader};
 use std::net::Ipv4Addr;
+use telemetry::LatencyHistogram;
 
 /// A probe generator.
 pub struct TrafficGen {

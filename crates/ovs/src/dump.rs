@@ -184,6 +184,31 @@ pub fn format_megaflow_row(row: &MegaflowRow) -> String {
     )
 }
 
+/// Renders the datapath-wide counters like `ovs-dpctl show`'s stats block:
+/// the tier-split lookup identities plus every drop class (miss, tx to a
+/// vanished port, fan-out ring overflow, packet-in queue overflow).
+pub fn dump_datapath_stats(dp: &Datapath) -> String {
+    use std::sync::atomic::Ordering;
+    let s = dp.cache_stats();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  lookups: hit:{} missed:{} total:{}\n",
+        s.matched, s.misses, s.lookups
+    ));
+    out.push_str(&format!(
+        "  cache tiers: emc:{} megaflow:{} classifier:{}\n",
+        s.emc_hits, s.megaflow_hits, s.classifier_hits
+    ));
+    out.push_str(&format!(
+        "  drops: miss:{} tx_no_port:{} fanout:{} packet_in:{}\n",
+        dp.miss_drops.load(Ordering::Relaxed),
+        s.tx_no_port_drops,
+        dp.fanout_drops.load(Ordering::Relaxed),
+        dp.packet_in_drops.load(Ordering::Relaxed),
+    ));
+    out
+}
+
 /// Renders the port list like `ovs-ofctl dump-ports` (administratively
 /// disabled ports are flagged, like `LINK_DOWN` in `ovs-ofctl show`).
 pub fn dump_ports(dp: &Datapath) -> String {
@@ -283,6 +308,33 @@ mod tests {
         assert!(dump.contains("actions:output:2"), "{dump}");
         // The resolving packet seeds the fresh entry's counters.
         assert!(dump.contains("packets:1, bytes:64"), "{dump}");
+    }
+
+    #[test]
+    fn dump_datapath_stats_reports_drop_classes() {
+        let dp = Datapath::new(false);
+        dp.lookups.store(10, std::sync::atomic::Ordering::Relaxed);
+        dp.matched.store(8, std::sync::atomic::Ordering::Relaxed);
+        dp.emc_hits.store(5, std::sync::atomic::Ordering::Relaxed);
+        dp.megaflow_hits
+            .store(2, std::sync::atomic::Ordering::Relaxed);
+        dp.classifier_hits
+            .store(1, std::sync::atomic::Ordering::Relaxed);
+        dp.miss_drops.store(2, std::sync::atomic::Ordering::Relaxed);
+        dp.tx_no_port_drops
+            .store(3, std::sync::atomic::Ordering::Relaxed);
+        dp.fanout_drops
+            .store(4, std::sync::atomic::Ordering::Relaxed);
+        let dump = dump_datapath_stats(&dp);
+        assert!(dump.contains("lookups: hit:8 missed:2 total:10"), "{dump}");
+        assert!(
+            dump.contains("cache tiers: emc:5 megaflow:2 classifier:1"),
+            "{dump}"
+        );
+        assert!(
+            dump.contains("drops: miss:2 tx_no_port:3 fanout:4 packet_in:0"),
+            "{dump}"
+        );
     }
 
     #[test]

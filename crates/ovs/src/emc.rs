@@ -67,11 +67,13 @@ impl Emc {
             // Cheap eviction: drop stale entries; if none are stale, clear.
             // (Real OVS probabilistically replaces; the effect — bounded
             // memory, occasional re-classification — is the same.)
+            telemetry::coverage!("emc_evict");
             self.map.retain(|_, e| e.generation == generation);
             if self.map.len() >= self.capacity {
                 self.map.clear();
             }
         }
+        telemetry::coverage!("emc_insert");
         self.map.insert((port, key), EmcEntry { generation, rule });
     }
 
@@ -155,8 +157,10 @@ mod tests {
     fn capacity_is_bounded() {
         let mut emc = Emc::new(4);
         for i in 0..100u16 {
-            let mut key = FlowKey::default();
-            key.l4_dst = i;
+            let key = FlowKey {
+                l4_dst: i,
+                ..FlowKey::default()
+            };
             emc.insert(PortNo(1), key, rule(u64::from(i)), 0);
         }
         assert!(emc.len() <= 5);

@@ -46,6 +46,7 @@ pub mod port;
 pub mod table;
 pub mod vswitchd;
 
+pub use dump::{dump_datapath_stats, dump_flows, dump_megaflows, dump_ports};
 pub use megaflow::{Megaflow, MegaflowRow};
 pub use ofproto::{FlowTableObserver, Ofproto, RuleSnapshot, StatsAugmenter};
 pub use pmd::{

@@ -146,7 +146,9 @@ impl Megaflow {
             self.groups.clear();
             self.len = 0;
             self.flushes += 1;
+            telemetry::coverage!("megaflow_flush");
         }
+        telemetry::coverage!("megaflow_insert");
         let proj = FlowMatch::project(&mask, port, key);
         let group = match self.groups.iter_mut().position(|g| g.mask == mask) {
             Some(i) => &mut self.groups[i],

@@ -166,6 +166,7 @@ impl Ofproto {
     /// Emits a `PortStatus` for a port membership change and re-notifies
     /// observers (called by the vswitchd layer on add/remove).
     pub fn announce_port(&self, no: PortNo, name: &str, reason: PortStatusReason) {
+        telemetry::coverage!("port_status");
         let down = match reason {
             PortStatusReason::Delete => false,
             _ => self.dp.port(no).map(|p| !p.is_admin_up()).unwrap_or(false),
@@ -224,11 +225,13 @@ impl Ofproto {
     /// Applies a flow_mod directly (used by the controller path and by
     /// tests/orchestrators that bypass the wire).
     pub fn apply_flow_mod(&self, fm: &FlowMod) {
+        telemetry::coverage!("flow_mod");
         let change = self.dp.table_apply(fm);
         if change.is_empty() {
             return;
         }
         for removed in &change.removed {
+            telemetry::coverage!("flow_removed");
             let (packets, bytes) = removed.counters();
             // Fold in bypass counters so FlowRemoved reports the truth.
             let (ep, eb) = self
@@ -286,6 +289,7 @@ impl Ofproto {
             return;
         }
         for removed in &change.removed {
+            telemetry::coverage!("flow_removed");
             let (packets, bytes) = removed.counters();
             let (ep, eb) = self
                 .augmenter
@@ -457,6 +461,7 @@ impl Ofproto {
         let mut handled = 0;
         // Forward packet-ins punted by the datapath.
         for pi in self.dp.drain_packet_ins(64) {
+            telemetry::coverage!("packet_in");
             self.send(&OfpMessage::PacketIn(pi), 0);
         }
         use std::sync::atomic::Ordering;

@@ -28,6 +28,9 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use telemetry::{
+    coverage, DatapathTotals, PmdPerf, Stage, TelemetrySnapshot, Tier, TraceRing, TraceSpan,
+};
 
 /// Megaflow hits promote their exact flow into the EMC once per this many
 /// hits (OVS's `emc-insert-inv-prob` idea): frequent flows converge into
@@ -35,14 +38,39 @@ use std::sync::Arc;
 /// continuously wipe it.
 pub const EMC_PROMOTION_INTERVAL: u64 = 8;
 
+/// 1-in-N bursts get per-group cycle stamps for the classify/execute
+/// histograms and tier resolution costs. A TSC read costs tens of
+/// nanoseconds — comparable to an EMC hit — so stamping every flow group
+/// of every burst would dominate the classify fast path; sampled bursts
+/// keep the histograms honest while the unstamped majority pays only a
+/// counter add (the ≤5% overhead gate in the `pmd_scaling` bench).
+pub const STAGE_SAMPLE_INTERVAL: u32 = 8;
+
 /// The per-PMD lookup caches in front of the shared classifier: the
 /// exact-match cache (tier 1) and the megaflow cache (tier 2).
 pub struct PmdCaches {
     pub emc: Emc,
     pub megaflow: Megaflow,
+    /// This PMD's perf block: counters plus per-stage/per-tier cycle
+    /// histograms. Lives behind the same (uncontended) per-PMD mutex as
+    /// the caches, so hot-path attribution happens while the guard for the
+    /// lookup group is already held; operator snapshots clone it.
+    pub perf: PmdPerf,
     /// Rolling megaflow-hit counter driving 1-in-[`EMC_PROMOTION_INTERVAL`]
     /// EMC promotion.
     emc_promotion_tick: u64,
+    /// Rolling burst counter driving 1-in-[`STAGE_SAMPLE_INTERVAL`]
+    /// cycle-stamped bursts (a TSC read per flow group is too expensive to
+    /// pay on every burst; see [`Datapath::process_burst`]).
+    stage_sample_tick: u32,
+    /// Packets processed in unstamped bursts since the last stamped one.
+    /// Flushed into the classify/execute histograms at the representative
+    /// costs below, so stage counts always equal packets processed.
+    carry_pkts: u64,
+    /// Mean per-group classify cost of the last stamped burst.
+    last_classify_cyc: u64,
+    /// Burst-level execute cost of the last stamped burst.
+    last_exec_cyc: u64,
     /// This PMD's cached flow-table snapshot (the RCU read side). Refreshed
     /// by [`PmdCaches::table_snapshot`] only when the shared generation
     /// moved, so steady-state classification touches no lock at all.
@@ -67,8 +95,26 @@ impl PmdCaches {
         PmdCaches {
             emc: Emc::new(emc_entries),
             megaflow: Megaflow::new(megaflow_entries),
+            perf: PmdPerf::new(0),
             emc_promotion_tick: 0,
+            stage_sample_tick: 0,
+            carry_pkts: 0,
+            last_classify_cyc: 0,
+            last_exec_cyc: 0,
             table: None,
+        }
+    }
+
+    /// Folds packets carried from unstamped bursts into the classify and
+    /// execute histograms at the last stamped burst's representative
+    /// costs, restoring the "stage counts == packets processed" identity.
+    /// Called at the end of every stamped burst and before snapshotting.
+    fn flush_stage_carry(&mut self) {
+        if self.carry_pkts > 0 {
+            let (carry, lc, le) = (self.carry_pkts, self.last_classify_cyc, self.last_exec_cyc);
+            self.carry_pkts = 0;
+            self.perf.record_stage(Stage::Classify, lc, carry);
+            self.perf.record_stage(Stage::Execute, le, carry);
         }
     }
 
@@ -172,6 +218,12 @@ pub struct Datapath {
     /// Cache handles registered by running PMD threads, so operator paths
     /// (`dump_megaflows`) can observe the per-PMD caches.
     pmd_caches: RwLock<Vec<Arc<Mutex<PmdCaches>>>>,
+    /// When false, the hot path skips every cycle read and histogram
+    /// update (packet/tier counters still tick — they are plain adds on
+    /// state already held). Flippable at runtime.
+    telemetry_enabled: AtomicBool,
+    /// Ring of 1-in-N sampled packet trace spans (`trace/show`).
+    pub trace: TraceRing,
 }
 
 impl Datapath {
@@ -202,7 +254,20 @@ impl Datapath {
             packet_in_rx: rx,
             packet_in_drops: AtomicU64::new(0),
             pmd_caches: RwLock::new(Vec::new()),
+            telemetry_enabled: AtomicBool::new(true),
+            trace: TraceRing::default(),
         })
+    }
+
+    /// Whether cycle-stamped telemetry (histograms, traces) is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables cycle-stamped telemetry at runtime. Counters
+    /// keep ticking either way; only histogram/trace stamping is gated.
+    pub fn set_telemetry_enabled(&self, enabled: bool) {
+        self.telemetry_enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// The latest published flow-table snapshot (the RCU read side). The
@@ -277,6 +342,47 @@ impl Datapath {
             classifier_hits: self.classifier_hits.load(Ordering::Relaxed),
             misses: lookups.saturating_sub(matched),
             tx_no_port_drops: self.tx_no_port_drops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Builds the full structured telemetry view: datapath-wide totals,
+    /// one cloned perf block per registered PMD (registration order),
+    /// process-wide coverage counters and the trace-ring occupancy. This
+    /// is the single source every rendering surface (appctl text, JSON,
+    /// Prometheus) formats from.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let s = self.cache_stats();
+        let pmds: Vec<PmdPerf> = self
+            .pmd_caches
+            .read()
+            .iter()
+            .map(|c| {
+                let mut guard = c.lock();
+                // Settle packets from bursts the sampler skipped, so the
+                // snapshot honours "stage counts == packets processed".
+                guard.flush_stage_carry();
+                guard.perf.clone()
+            })
+            .collect();
+        TelemetrySnapshot {
+            enabled: self.telemetry_enabled(),
+            taken_at_cycles: cycles::now(),
+            pmds,
+            totals: DatapathTotals {
+                lookups: s.lookups,
+                matched: s.matched,
+                emc_hits: s.emc_hits,
+                megaflow_hits: s.megaflow_hits,
+                classifier_hits: s.classifier_hits,
+                misses: s.misses,
+                miss_drops: self.miss_drops.load(Ordering::Relaxed),
+                tx_no_port_drops: s.tx_no_port_drops,
+                fanout_drops: self.fanout_drops.load(Ordering::Relaxed),
+                packet_in_drops: self.packet_in_drops.load(Ordering::Relaxed),
+            },
+            coverage: coverage::snapshot(),
+            traces_retained: self.trace.len(),
+            trace_groups_observed: self.trace.observed(),
         }
     }
 
@@ -474,6 +580,21 @@ impl Datapath {
             .map(|pkt| packet_wire::FlowKey::extract(pkt.data()))
             .collect();
         let mut slots: Vec<Option<Mbuf>> = burst.drain(..).map(Some).collect();
+        let telemetry = self.telemetry_enabled();
+        // Cycle stamping is *burst-sampled* (1-in-STAGE_SAMPLE_INTERVAL):
+        // the sampling decision is made under the first group's cache
+        // guard, stamps chain through the group loop (each group's
+        // execute-end stamp is the next group's classify-start), and
+        // execute costs are accumulated and recorded with a single lock at
+        // the end — so a stamped burst pays two TSC reads per flow group
+        // and an unstamped burst pays one for the whole burst.
+        let mut exec_cycles = 0u64;
+        let mut exec_packets = 0u64;
+        let mut classify_cycles = 0u64;
+        let mut groups = 0u64;
+        let mut sampled = false;
+        let mut decided = !telemetry;
+        let mut cursor = if telemetry { cycles::now() } else { 0 };
         for leader in 0..keys.len() {
             if slots[leader].is_none() {
                 continue; // consumed with an earlier leader's group
@@ -489,14 +610,50 @@ impl Datapath {
                     }
                 }
             }
+            let group_start = cursor;
+            let mut classify_cyc = 0u64;
+            let mut pmd_idx = None;
             let (rule, tier) = match caches {
                 Some(m) => {
                     let mut guard = m.lock();
-                    self.classify(in_port, &key, Some(&mut guard), n, bytes)
+                    if !decided {
+                        decided = true;
+                        sampled = guard.stage_sample_tick % STAGE_SAMPLE_INTERVAL == 0;
+                        guard.stage_sample_tick = guard.stage_sample_tick.wrapping_add(1);
+                    }
+                    let (rule, tier) = self.classify(in_port, &key, Some(&mut guard), n, bytes);
+                    // Misses are attributed with `None`: they walked the
+                    // whole hierarchy but hit no tier.
+                    let resolved = rule.as_ref().map(|_| match tier {
+                        CacheTier::Emc => Tier::Emc,
+                        CacheTier::Megaflow => Tier::Megaflow,
+                        CacheTier::Classifier => Tier::Classifier,
+                    });
+                    if sampled {
+                        let t = cycles::now();
+                        classify_cyc = t.saturating_sub(cursor);
+                        cursor = t;
+                        guard.perf.record_lookup(resolved, classify_cyc, n);
+                        guard.perf.record_stage(Stage::Classify, classify_cyc, n);
+                    } else {
+                        guard.perf.count_lookup(resolved, n);
+                        if telemetry {
+                            guard.carry_pkts += n;
+                        }
+                    }
+                    pmd_idx = Some(guard.perf.pmd);
+                    (rule, tier)
                 }
                 None => self.classify(in_port, &key, None, n, bytes),
             };
             self.lookups.fetch_add(n, Ordering::Relaxed);
+            let tracing = sampled && pmd_idx.is_some() && self.trace.should_sample();
+            let tier_name = match (&rule, tier) {
+                (None, _) => "miss",
+                (Some(_), CacheTier::Emc) => "emc",
+                (Some(_), CacheTier::Megaflow) => "megaflow",
+                (Some(_), CacheTier::Classifier) => "classifier",
+            };
             match rule {
                 Some(rule) => {
                     self.matched.fetch_add(n, Ordering::Relaxed);
@@ -518,6 +675,7 @@ impl Datapath {
                     }
                 }
                 None => {
+                    coverage!("upcall_miss");
                     for i in leader..keys.len() {
                         if keys[i] != key {
                             continue;
@@ -531,6 +689,39 @@ impl Datapath {
                         }
                     }
                 }
+            }
+            if sampled {
+                let t = cycles::now();
+                let group_exec = t.saturating_sub(cursor);
+                cursor = t;
+                exec_cycles += group_exec;
+                exec_packets += n;
+                classify_cycles += classify_cyc;
+                groups += 1;
+                if tracing {
+                    self.trace.push(TraceSpan {
+                        start_cycles: group_start,
+                        pmd: pmd_idx.unwrap_or(0),
+                        in_port: in_port.0,
+                        packets: n,
+                        flow: format!("{key:?}"),
+                        tier: tier_name,
+                        stages: vec![("classify", classify_cyc), ("execute", group_exec)],
+                    });
+                }
+            }
+        }
+        if sampled && exec_packets > 0 {
+            if let Some(m) = caches {
+                let mut guard = m.lock();
+                guard
+                    .perf
+                    .record_stage(Stage::Execute, exec_cycles, exec_packets);
+                // Remember this burst's costs as the representative value
+                // for packets carried from the unstamped bursts around it.
+                guard.last_classify_cyc = classify_cycles / groups.max(1);
+                guard.last_exec_cyc = exec_cycles;
+                guard.flush_stage_carry();
             }
         }
     }
@@ -766,6 +957,7 @@ impl PmdThread {
         // across a whole burst, so an operator snapshot cannot stall the
         // hot path for more than one cache resolution.
         let caches = Arc::new(Mutex::new(PmdCaches::new()));
+        caches.lock().perf.pmd = self.index;
         self.dp.register_pmd_caches(&caches);
         let mut rx_buf: Vec<Mbuf> = Vec::with_capacity(DEFAULT_BURST);
         let mut local: Vec<Mbuf> = Vec::with_capacity(DEFAULT_BURST);
@@ -776,6 +968,17 @@ impl PmdThread {
         let mut snapshot_gen = u64::MAX;
 
         while !self.stop.load(Ordering::Acquire) {
+            // Per-iteration telemetry accumulators, folded into the perf
+            // block with one lock at the end of the iteration so the poll
+            // loop itself takes no extra locks.
+            let telemetry = self.dp.telemetry_enabled();
+            let mut it_rx_packets = 0u64;
+            let mut it_rx_batches = 0u64;
+            let mut it_rx_cycles = 0u64;
+            let mut it_fanout_sent = 0u64;
+            let mut it_fanout_recv = 0u64;
+            let mut it_fanout_cycles = 0u64;
+            let mut it_fanout_pkts_resharded = 0u64;
             let gen = self.dp.ports_generation.load(Ordering::Acquire);
             if gen != snapshot_gen {
                 snapshot = self.dp.ports.read().values().cloned().collect();
@@ -791,17 +994,24 @@ impl PmdThread {
             let now = cycles::now();
             for port in &mine {
                 rx_buf.clear();
+                let t_rx = if telemetry { cycles::now() } else { 0 };
                 let n = port.rx_burst(&mut rx_buf, DEFAULT_BURST);
                 if n == 0 {
                     continue;
                 }
                 idle = false;
+                if telemetry {
+                    it_rx_cycles += cycles::now().saturating_sub(t_rx);
+                }
+                it_rx_packets += n as u64;
+                it_rx_batches += 1;
                 match &mut self.fanout {
                     Some(fanout) => {
                         // RSS dispatch: partition the burst by owner PMD.
                         // The owner re-extracts the key during its own
                         // grouped classification — the extra extraction
                         // buys lock-free per-flow cache affinity.
+                        let t_fanout = if telemetry { cycles::now() } else { 0 };
                         local.clear();
                         for pkt in rx_buf.drain(..) {
                             let key = packet_wire::FlowKey::extract(pkt.data());
@@ -814,12 +1024,17 @@ impl PmdThread {
                         }
                         for (owner, pkts) in remote.iter_mut().enumerate() {
                             if !pkts.is_empty() {
+                                it_fanout_sent += pkts.len() as u64;
                                 let batch = FanoutBatch {
                                     in_port: port.no,
                                     pkts: std::mem::take(pkts),
                                 };
                                 fanout.send(owner, batch, &self.dp);
                             }
+                        }
+                        if telemetry {
+                            it_fanout_cycles += cycles::now().saturating_sub(t_fanout);
+                            it_fanout_pkts_resharded += n as u64;
                         }
                         if !local.is_empty() {
                             self.dp.process_burst(
@@ -850,6 +1065,7 @@ impl PmdThread {
                         break;
                     };
                     idle = false;
+                    it_fanout_recv += batch.pkts.len() as u64;
                     self.dp.process_burst(
                         &mut batch.pkts,
                         batch.in_port,
@@ -860,8 +1076,47 @@ impl PmdThread {
                     );
                 }
             }
+            let tx_pkts: u64 = staged.values().map(|v| v.len() as u64).sum();
+            let t_tx = if telemetry { cycles::now() } else { 0 };
             self.dp.flush_staged(&mut staged);
             self.iterations.fetch_add(1, Ordering::Relaxed);
+            {
+                // One fold per iteration: counters always, histograms and
+                // cycle attribution only when telemetry is enabled.
+                let mut guard = caches.lock();
+                let perf = &mut guard.perf;
+                perf.iterations += 1;
+                if idle {
+                    perf.idle_iterations += 1;
+                }
+                perf.rx_packets += it_rx_packets;
+                perf.rx_batches += it_rx_batches;
+                perf.fanout_sent += it_fanout_sent;
+                perf.fanout_recv += it_fanout_recv;
+                perf.tx_packets += tx_pkts;
+                if telemetry {
+                    let t_end = cycles::now();
+                    if it_rx_packets > 0 {
+                        perf.record_stage(Stage::RxBurst, it_rx_cycles, it_rx_packets);
+                    }
+                    if it_fanout_pkts_resharded > 0 {
+                        perf.record_stage(
+                            Stage::Fanout,
+                            it_fanout_cycles,
+                            it_fanout_pkts_resharded,
+                        );
+                    }
+                    if tx_pkts > 0 {
+                        perf.record_stage(Stage::TxFlush, t_end.saturating_sub(t_tx), tx_pkts);
+                    }
+                    let iter_cycles = t_end.saturating_sub(now);
+                    if idle {
+                        perf.idle_cycles += iter_cycles;
+                    } else {
+                        perf.busy_cycles += iter_cycles;
+                    }
+                }
+            }
             if idle {
                 std::thread::yield_now();
             }

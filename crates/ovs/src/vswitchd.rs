@@ -29,6 +29,10 @@ pub struct VSwitchdConfig {
     /// polled bursts are RSS-resharded by flow hash over an SPSC fan-out
     /// mesh so each flow is classified by its owner PMD's caches.
     pub pmd_threads: usize,
+    /// Collect cycle-denominated telemetry (stage/tier latency histograms,
+    /// busy/idle cycle accounting, sampled packet traces). Counters tick
+    /// regardless; this only gates the cycle reads on the hot path.
+    pub telemetry: bool,
 }
 
 impl Default for VSwitchdConfig {
@@ -45,6 +49,12 @@ impl Default for VSwitchdConfig {
                 .and_then(|v| v.parse::<usize>().ok())
                 .filter(|&n| n >= 1)
                 .unwrap_or(1),
+            // `HIGHWAY_TELEMETRY=0` disables the cycle-stamping half of the
+            // telemetry layer (the overhead-gate configuration of the
+            // pmd_scaling bench); anything else leaves it on.
+            telemetry: std::env::var("HIGHWAY_TELEMETRY")
+                .map(|v| v != "0" && !v.eq_ignore_ascii_case("off"))
+                .unwrap_or(true),
         }
     }
 }
@@ -63,6 +73,7 @@ impl VSwitchd {
     /// Builds a stopped switch with no ports.
     pub fn new(config: VSwitchdConfig) -> VSwitchd {
         let dp = Datapath::new(config.miss_to_controller);
+        dp.set_telemetry_enabled(config.telemetry);
         let ofproto = Arc::new(Ofproto::new(Arc::clone(&dp), config.datapath_id));
         VSwitchd {
             dp,
@@ -82,6 +93,19 @@ impl VSwitchd {
     /// The OpenFlow agent.
     pub fn ofproto(&self) -> Arc<Ofproto> {
         Arc::clone(&self.ofproto)
+    }
+
+    /// A structured snapshot of every telemetry surface: per-PMD perf
+    /// blocks, datapath totals, coverage counters and trace-ring state.
+    pub fn telemetry_snapshot(&self) -> telemetry::TelemetrySnapshot {
+        self.dp.telemetry_snapshot()
+    }
+
+    /// `ovs-appctl`-style introspection: renders `pmd-stats-show`,
+    /// `pmd-perf-show`, `coverage/show`, `histograms/show`,
+    /// `telemetry/json` or `telemetry/prometheus` from a fresh snapshot.
+    pub fn appctl(&self, command: &str) -> String {
+        telemetry::appctl::dispatch(&self.telemetry_snapshot(), command)
     }
 
     /// Adds a dpdkr port backed by the switch side of a shared channel.

@@ -1,0 +1,212 @@
+//! Sampled packet trace spans.
+//!
+//! A [`TraceRing`] records the full stage path of 1-in-N classified packet
+//! groups — which PMD handled them, which tier resolved them, and the
+//! cycle cost of each stage — into a bounded ring. It exists to debug
+//! cache pathologies ("why is this flow walking the classifier every
+//! burst?") without per-packet logging: the sampling decision is one
+//! relaxed fetch-add, and only sampled groups ever take the ring lock.
+
+use dpdk_sim::cycles;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default sampling period: one traced group per this many *observed*
+/// groups. The PMD only probes the sampler for groups in cycle-stamped
+/// bursts (1-in-8), so the effective rate is ~1 traced group per
+/// `8 * DEFAULT_TRACE_SAMPLE` classified groups.
+pub const DEFAULT_TRACE_SAMPLE: u64 = 128;
+
+/// Default ring capacity (spans retained).
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// One sampled packet group's journey through the pipeline.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// Cycle timestamp when the span began (group picked up for classify).
+    pub start_cycles: u64,
+    /// The PMD that classified the group.
+    pub pmd: usize,
+    /// Ingress OpenFlow port number.
+    pub in_port: u16,
+    /// Packets in the group (burst-batched classification shares one
+    /// resolution across them).
+    pub packets: u64,
+    /// Debug rendering of the flow key.
+    pub flow: String,
+    /// The tier that resolved the group (`"miss"` when nothing matched).
+    pub tier: &'static str,
+    /// `(stage name, cycles spent)` in pipeline order.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+impl TraceSpan {
+    /// Total cycles across all recorded stages.
+    pub fn total_cycles(&self) -> u64 {
+        self.stages.iter().map(|(_, c)| c).sum()
+    }
+
+    /// One-line rendering for `trace/show`.
+    pub fn render(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|(name, c)| format!("{name}={c}"))
+            .collect();
+        format!(
+            "@{} pmd {} in_port {} pkts {} tier {} [{}] total {} cycles ({}) flow {}\n",
+            self.start_cycles,
+            self.pmd,
+            self.in_port,
+            self.packets,
+            self.tier,
+            stages.join(" "),
+            self.total_cycles(),
+            format_duration_cycles(self.total_cycles()),
+            self.flow,
+        )
+    }
+}
+
+fn format_duration_cycles(c: u64) -> String {
+    let ns = cycles::to_duration(c).as_nanos();
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A bounded ring of sampled [`TraceSpan`]s shared by every PMD.
+pub struct TraceRing {
+    every: u64,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<TraceSpan>>,
+    capacity: usize,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_SAMPLE, DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceRing {
+    /// A ring sampling one group in `every` (min 1), retaining `capacity`
+    /// spans.
+    pub fn new(every: u64, capacity: usize) -> TraceRing {
+        TraceRing {
+            every: every.max(1),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The sampling decision: true for exactly one call in `every`. The
+    /// hot path pays one relaxed fetch-add.
+    pub fn should_sample(&self) -> bool {
+        self.seq.fetch_add(1, Ordering::Relaxed) % self.every == 0
+    }
+
+    /// Groups observed (sampled or not) since creation.
+    pub fn observed(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Stores a sampled span, evicting the oldest at capacity.
+    pub fn push(&self, span: TraceSpan) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(span);
+    }
+
+    /// The most recent spans, oldest first, at most `max`.
+    pub fn recent(&self, max: usize) -> Vec<TraceSpan> {
+        let ring = self.ring.lock();
+        ring.iter().rev().take(max).rev().cloned().collect()
+    }
+
+    /// Number of spans currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// True when no span was sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// `trace/show`-style rendering of the most recent `max` spans.
+    pub fn render(&self, max: usize) -> String {
+        let spans = self.recent(max);
+        let mut out = format!(
+            "packet traces: {} retained of {} groups observed (1-in-{} sampling)\n",
+            spans.len(),
+            self.observed(),
+            self.every,
+        );
+        for span in &spans {
+            out.push_str(&span.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(pmd: usize) -> TraceSpan {
+        TraceSpan {
+            start_cycles: 1000,
+            pmd,
+            in_port: 1,
+            packets: 4,
+            flow: "udp 10.0.0.1:5->10.0.0.2:80".into(),
+            tier: "emc",
+            stages: vec![("classify", 120), ("execute", 80)],
+        }
+    }
+
+    #[test]
+    fn samples_one_in_n() {
+        let ring = TraceRing::new(4, 16);
+        let sampled = (0..16).filter(|_| ring.should_sample()).count();
+        assert_eq!(sampled, 4);
+        assert_eq!(ring.observed(), 16);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let ring = TraceRing::new(1, 3);
+        for i in 0..5 {
+            ring.push(span(i));
+        }
+        let recent = ring.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(
+            recent.iter().map(|s| s.pmd).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest evicted, order preserved"
+        );
+    }
+
+    #[test]
+    fn render_contains_the_stage_path() {
+        let s = span(2);
+        assert_eq!(s.total_cycles(), 200);
+        let r = s.render();
+        assert!(r.contains("pmd 2"));
+        assert!(r.contains("classify=120"));
+        assert!(r.contains("tier emc"));
+        let ring = TraceRing::new(1, 4);
+        ring.push(s);
+        assert!(ring.render(4).contains("1-in-1 sampling"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property suite for `LatencyHistogram` (satellite of the telemetry PR):
+//!
+//! 1. every quantile estimate is within one bucket's relative error (1/8,
+//!    from the 4 significant bits kept per bucket) of the exact quantile
+//!    of the sorted samples;
+//! 2. merging per-PMD histograms is *exact* — bucket-identical to having
+//!    recorded every sample into one histogram;
+//! 3. `record_n` is indistinguishable from `n` repeated `record`s.
+
+use proptest::prelude::*;
+use telemetry::LatencyHistogram;
+
+/// Exact quantile of a sorted sample set, matching the histogram's
+/// "smallest value with rank ≥ ceil(q·n)" convention.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = ((q.clamp(0.0, 1.0)) * sorted.len() as f64).ceil() as usize;
+    sorted[target.max(1) - 1]
+}
+
+/// Samples drawn across six decades so both the linear (< 16) and the
+/// log-bucketed regions get exercised.
+fn sample_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..16,
+            16u64..1_000,
+            1_000u64..1_000_000,
+            1_000_000u64..10_000_000_000,
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantiles_track_exact_within_one_bucket(samples in sample_strategy()) {
+        let mut h = LatencyHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            // The histogram reports a bucket upper bound clamped to the
+            // observed max, so the estimate never undershoots the exact
+            // sample and overshoots by at most one sub-bucket (1/8
+            // relative; +1 absolute covers the small-value linear region).
+            prop_assert!(
+                est >= exact,
+                "q={q}: estimate {est} under exact {exact} (n={})",
+                sorted.len()
+            );
+            let bound = exact + exact / 8 + 1;
+            prop_assert!(
+                est <= bound,
+                "q={q}: estimate {est} above bound {bound} (exact {exact}, n={})",
+                sorted.len()
+            );
+        }
+        prop_assert_eq!(h.count(), sorted.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_of_shards_equals_one_histogram(
+        shard_a in sample_strategy(),
+        shard_b in sample_strategy(),
+        shard_c in sample_strategy(),
+    ) {
+        // Per-PMD recording then merge...
+        let mut merged = LatencyHistogram::new();
+        for shard in [&shard_a, &shard_b, &shard_c] {
+            let mut h = LatencyHistogram::new();
+            for &v in shard.iter() {
+                h.record(v);
+            }
+            merged.merge(&h);
+        }
+        // ...versus recording the union into a single histogram.
+        let mut single = LatencyHistogram::new();
+        for &v in shard_a.iter().chain(&shard_b).chain(&shard_c) {
+            single.record(v);
+        }
+
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.mean(), single.mean());
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(
+                merged.quantile(q),
+                single.quantile(q),
+                "merge must be exact at q={}",
+                q
+            );
+        }
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record(
+        values in proptest::collection::vec((0u64..10_000_000, 1u64..50), 1..40),
+    ) {
+        let mut batched = LatencyHistogram::new();
+        let mut looped = LatencyHistogram::new();
+        for &(v, n) in &values {
+            batched.record_n(v, n);
+            for _ in 0..n {
+                looped.record(v);
+            }
+        }
+        prop_assert_eq!(batched.count(), looped.count());
+        prop_assert_eq!(batched.mean(), looped.mean());
+        prop_assert_eq!(batched.min(), looped.min());
+        prop_assert_eq!(batched.max(), looped.max());
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(batched.quantile(q), looped.quantile(q));
+        }
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`shmem`] — shared-memory channels, virtio-serial, stats region;
 //! * [`packet`] — wire formats;
 //! * [`nic`] — simulated 10 G NICs and traffic generation;
-//! * [`model`] — the calibrated performance model behind the figures.
+//! * [`model`] — the calibrated performance model behind the figures;
+//! * [`telemetry`] — coverage counters, per-PMD perf blocks, latency
+//!   histograms and the appctl/Prometheus introspection surface.
 //!
 //! Start with [`highway::HighwayNode`] — see `examples/quickstart.rs`.
 
@@ -29,6 +31,7 @@ pub use ovs_dp as ovs;
 pub use packet_wire as packet;
 pub use shmem_sim as shmem;
 pub use simnet as model;
+pub use telemetry;
 pub use vm_host as vm;
 pub use vnf_apps as vnf;
 
