@@ -121,20 +121,28 @@ pub fn build(samples: usize) -> CacheTierAblation {
 /// distinct UDP flows (xorshift64*, fixed seed — identical traffic for
 /// every configuration and every run).
 pub fn zipf_keys(samples: usize) -> Vec<FlowKey> {
+    zipf_keys_over(FLOWS, samples)
+}
+
+/// [`zipf_keys`] generalised over the flow-population size, for benches
+/// that sweep the flow dimension (e.g. the highway showdown). Flow `f`'s
+/// identity is its UDP port pair `(f >> 16, f & 0xffff)`, which stays
+/// unique up to 2^32 flows.
+pub fn zipf_keys_over(flows: usize, samples: usize) -> Vec<FlowKey> {
     // Per-flow keys, extracted once.
-    let flow_keys: Vec<FlowKey> = (0..FLOWS)
+    let flow_keys: Vec<FlowKey> = (0..flows)
         .map(|f| {
             FlowKey::extract(
                 &PacketBuilder::udp_probe(64)
-                    .ports(1024 + (f >> 8) as u16, 1024 + (f & 0xff) as u16)
+                    .ports((f >> 16) as u16, (f & 0xffff) as u16)
                     .build(),
             )
         })
         .collect();
-    // Zipf CDF over ranks 1..=FLOWS.
-    let mut cdf = Vec::with_capacity(FLOWS);
+    // Zipf CDF over ranks 1..=flows.
+    let mut cdf = Vec::with_capacity(flows);
     let mut total = 0.0f64;
-    for rank in 1..=FLOWS {
+    for rank in 1..=flows {
         total += 1.0 / (rank as f64).powf(1.1);
         cdf.push(total);
     }
@@ -146,7 +154,7 @@ pub fn zipf_keys(samples: usize) -> Vec<FlowKey> {
             state ^= state >> 27;
             let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
                 * total;
-            let rank = cdf.partition_point(|&c| c < u).min(FLOWS - 1);
+            let rank = cdf.partition_point(|&c| c < u).min(flows - 1);
             flow_keys[rank]
         })
         .collect()

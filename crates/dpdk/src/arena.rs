@@ -1,0 +1,877 @@
+//! Shared-arena mbuf allocator with offset-based handles.
+//!
+//! A real ivshmem highway cannot move `Box<[u8]>` pointers between
+//! processes: a guest maps the hugepage segment at its own virtual address,
+//! so the only representation of a packet that survives the BAR crossing is
+//! `(segment_id, offset, length)`. This module models exactly that:
+//!
+//! * [`ArenaSegment`] (internal) — one contiguous slab carved into
+//!   fixed-size slots, with a lock-free freelist of slot indices, one
+//!   refcount per slot for multi-reader handoff, and a **credit-return
+//!   ring**: consumers that finish with a buffer push its slot index onto
+//!   the credit ring instead of the freelist, so recycling never touches
+//!   the slab and never contends with the producer's allocation path — the
+//!   producer reclaims credits in batches when its freelist runs dry.
+//! * [`Arena`] — a process-local *mapping* of a segment. The owner mapping
+//!   (created by [`Arena::new`]) frees straight to the freelist; consumer
+//!   mappings ([`Arena::consumer`]) free through the credit ring, like a
+//!   guest that must not write the host's freelist head.
+//! * [`ArenaMbuf`] — an RAII packet handle over one slot: offset-based,
+//!   refcounted ([`ArenaMbuf::clone_ref`]), and convertible to/from the POD
+//!   [`MbufDesc`] that rides rings between mappings (descriptor-only
+//!   enqueue — the zero-copy hop).
+//!
+//! The slab counts every mutable-byte access in `slab_writes`, which is the
+//! instrument behind the zero-copy acceptance test: across an N-hop chain,
+//! slab writes happen only at generator ingress (and at VNFs that
+//! legitimately mutate payload), never per hop.
+
+use crate::events;
+use crossbeam::queue::ArrayQueue;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Headroom reserved at the front of every arena slot, mirroring
+/// [`crate::mbuf::MBUF_HEADROOM`] (capped for tiny test slots).
+pub const ARENA_HEADROOM: usize = crate::mbuf::MBUF_HEADROOM;
+
+/// A POD packet descriptor: the only representation that crosses a ring
+/// between two mappings of the same segment. Carries the buffer's identity
+/// as offsets plus the mbuf metadata words, never a pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MbufDesc {
+    /// Which segment the slot lives in (global, process-unique id).
+    pub segment_id: u64,
+    /// Slot index within the segment's slab.
+    pub slot: u32,
+    /// Offset of the first packet byte within the slot.
+    pub data_off: u32,
+    /// Packet length in bytes.
+    pub len: u32,
+    /// Ingress port metadata (rides along, not part of the buffer).
+    pub port: u32,
+    /// Scratch metadata word.
+    pub udata: u64,
+    /// Cycle timestamp metadata word.
+    pub timestamp: u64,
+}
+
+impl MbufDesc {
+    /// Byte offset of the packet data from the start of the whole slab.
+    pub fn slab_offset(&self, slot_size: usize) -> usize {
+        self.slot as usize * slot_size + self.data_off as usize
+    }
+}
+
+/// The slab: interior-mutable so multiple handles can address disjoint
+/// slots concurrently. Slot disjointness plus the per-slot refcount
+/// protocol (mutable access only at refcount 1, through `&mut` handles)
+/// guarantee no byte is ever aliased mutably.
+struct Slab(Box<[UnsafeCell<u8>]>);
+
+// SAFETY: all access goes through ArenaMbuf, which only hands out `&mut`
+// bytes for a slot whose refcount is 1 and only through a `&mut` handle;
+// shared reads of a slot are fine concurrently.
+unsafe impl Sync for Slab {}
+unsafe impl Send for Slab {}
+
+impl Slab {
+    fn new(len: usize) -> Slab {
+        // `UnsafeCell<u8>` is `repr(transparent)` over `u8`, so a zeroed
+        // byte slab can be reinterpreted wholesale — element-by-element
+        // construction is quadratically slower in debug builds for the
+        // multi-megabyte slabs the host arena uses.
+        let bytes: Box<[u8]> = vec![0u8; len].into_boxed_slice();
+        let raw = Box::into_raw(bytes);
+        Slab(unsafe { Box::from_raw(raw as *mut [UnsafeCell<u8>]) })
+    }
+
+    /// SAFETY: caller must guarantee no concurrent `&mut` to this range.
+    unsafe fn slice(&self, start: usize, len: usize) -> &[u8] {
+        std::slice::from_raw_parts(self.0[start].get() as *const u8, len)
+    }
+
+    /// SAFETY: caller must guarantee exclusive access to this range.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [u8] {
+        std::slice::from_raw_parts_mut(self.0[start].get(), len)
+    }
+}
+
+/// One shared-memory arena segment (the thing a hugepage backs).
+pub(crate) struct ArenaSegment {
+    name: String,
+    id: u64,
+    slab: Slab,
+    slot_size: usize,
+    capacity: usize,
+    /// Per-slot reference counts; 0 = slot is in a queue, not in flight.
+    refcounts: Box<[AtomicU32]>,
+    /// Owner-side freelist of slot indices.
+    free: ArrayQueue<u32>,
+    /// Credit-return ring: consumer mappings push finished slots here.
+    credit: ArrayQueue<u32>,
+    // ---- counters ----
+    allocs: AtomicU64,
+    alloc_failures: AtomicU64,
+    /// Direct freelist returns (owner mapping frees).
+    frees: AtomicU64,
+    /// Returns via the credit ring (consumer mapping frees).
+    credit_returns: AtomicU64,
+    /// Credits the owner has moved from the credit ring to the freelist.
+    credits_reclaimed: AtomicU64,
+    /// Returns that fit neither queue — a buffer this segment never issued.
+    foreign_frees: AtomicU64,
+    /// Copy-on-write slot copies (a shared handle was mutated).
+    cow_copies: AtomicU64,
+    /// Mutable-byte accesses to the slab (the zero-copy census probe).
+    slab_writes: AtomicU64,
+    in_use: AtomicUsize,
+    high_water: AtomicUsize,
+}
+
+impl ArenaSegment {
+    fn return_slot(&self, slot: u32, via_credit: bool) {
+        if (slot as usize) >= self.capacity {
+            self.foreign_frees.fetch_add(1, Ordering::Relaxed);
+            events::emit("arena_foreign_free", 1);
+            return;
+        }
+        self.in_use.fetch_sub(1, Ordering::Relaxed);
+        if via_credit {
+            if self.credit.push(slot).is_ok() {
+                self.credit_returns.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        } else if self.free.push(slot).is_ok() {
+            self.frees.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Both queues are sized to capacity and every legitimate slot is in
+        // exactly one place, so a failed push means a double free or a slot
+        // from some other segment: observable, never silent.
+        self.in_use.fetch_add(1, Ordering::Relaxed);
+        self.foreign_frees.fetch_add(1, Ordering::Relaxed);
+        events::emit("arena_foreign_free", 1);
+    }
+
+    /// Drains the credit ring into the freelist; returns slots reclaimed.
+    fn reclaim_credits(&self) -> usize {
+        let mut n = 0;
+        while let Some(slot) = self.credit.pop() {
+            self.free
+                .push(slot)
+                .unwrap_or_else(|_| unreachable!("freelist sized to capacity"));
+            n += 1;
+        }
+        if n > 0 {
+            self.credits_reclaimed
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+        n
+    }
+
+    fn take_slot(&self) -> Option<u32> {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                // Freelist dry: reclaim consumer credits in one batch, then
+                // retry. This is the producer-side half of the credit
+                // protocol — amortised, never per packet.
+                self.reclaim_credits();
+                match self.free.pop() {
+                    Some(s) => s,
+                    None => {
+                        self.alloc_failures.fetch_add(1, Ordering::Relaxed);
+                        events::emit("arena_alloc_failure", 1);
+                        return None;
+                    }
+                }
+            }
+        };
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.refcounts[slot as usize].store(1, Ordering::Release);
+        let now = self.in_use.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+        Some(slot)
+    }
+}
+
+impl Drop for ArenaSegment {
+    fn drop(&mut self) {
+        segment_table().lock().unwrap().remove(&self.id);
+    }
+}
+
+/// Counter snapshot of one arena segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    pub capacity: usize,
+    pub slot_size: usize,
+    /// Slots on the owner freelist right now.
+    pub available: usize,
+    /// Slots parked on the credit ring, not yet reclaimed by the owner.
+    pub credit_pending: usize,
+    /// Slots in flight (allocated, not yet returned by either path).
+    pub in_use: usize,
+    /// Highest `in_use` ever observed.
+    pub high_water: usize,
+    pub allocs: u64,
+    pub alloc_failures: u64,
+    /// Direct freelist returns (owner-mapping frees).
+    pub frees: u64,
+    /// Returns through the credit ring (consumer-mapping frees).
+    pub credit_returns: u64,
+    /// Credits the owner has folded back into the freelist.
+    pub credits_reclaimed: u64,
+    /// Returned buffers this segment never issued (double free / cross-
+    /// segment confusion) — must stay 0 in a healthy system.
+    pub foreign_frees: u64,
+    /// Copy-on-write slot copies.
+    pub cow_copies: u64,
+    /// Mutable-byte accesses to the slab since creation.
+    pub slab_writes: u64,
+}
+
+/// A process-local mapping of an arena segment.
+///
+/// Clone is cheap; clones share the segment. The mapping created by
+/// [`Arena::new`] is the *owner* (frees go straight to the freelist);
+/// [`Arena::consumer`] derives a consumer mapping whose frees take the
+/// credit-return ring, the way a guest recycles a host-owned buffer.
+#[derive(Clone)]
+pub struct Arena {
+    seg: Arc<ArenaSegment>,
+    via_credit: bool,
+}
+
+/// Non-owning arena reference for registries (telemetry) that must not
+/// keep a dead segment alive.
+#[derive(Clone)]
+pub struct WeakArena {
+    seg: Weak<ArenaSegment>,
+}
+
+impl WeakArena {
+    /// Upgrades to a live mapping, if the segment still exists.
+    pub fn upgrade(&self) -> Option<Arena> {
+        self.seg.upgrade().map(|seg| Arena {
+            seg,
+            via_credit: true,
+        })
+    }
+}
+
+fn segment_table() -> &'static Mutex<HashMap<u64, Weak<ArenaSegment>>> {
+    static TABLE: OnceLock<Mutex<HashMap<u64, Weak<ArenaSegment>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn next_segment_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Resolves a descriptor received from a ring into a live handle.
+///
+/// This is what a consumer does after dequeuing: look the segment up in its
+/// mapping table and rebind the offsets. The adopted handle recycles
+/// through the credit ring (the adopter is by definition not the owner's
+/// allocation path). Returns `None` — and counts `arena_adopt_failure` —
+/// when the segment has been torn down, the packet-loss mode a real
+/// unmap-under-traffic has.
+pub fn adopt(desc: MbufDesc) -> Option<ArenaMbuf> {
+    let seg = segment_table()
+        .lock()
+        .unwrap()
+        .get(&desc.segment_id)
+        .and_then(Weak::upgrade);
+    match seg {
+        Some(seg) => Some(ArenaMbuf::rebind(seg, desc, true)),
+        None => {
+            events::emit("arena_adopt_failure", 1);
+            None
+        }
+    }
+}
+
+impl Arena {
+    /// Creates a new segment of `capacity` slots of `slot_size` bytes and
+    /// returns its owner mapping.
+    pub fn new(name: impl Into<String>, capacity: usize, slot_size: usize) -> Arena {
+        assert!(capacity > 0, "arena capacity must be positive");
+        assert!(slot_size > 0, "arena slot size must be positive");
+        let free = ArrayQueue::new(capacity);
+        for slot in 0..capacity {
+            free.push(slot as u32)
+                .unwrap_or_else(|_| unreachable!("queue sized to capacity"));
+        }
+        let refcounts = (0..capacity).map(|_| AtomicU32::new(0)).collect();
+        let seg = Arc::new(ArenaSegment {
+            name: name.into(),
+            id: next_segment_id(),
+            slab: Slab::new(capacity * slot_size),
+            slot_size,
+            capacity,
+            refcounts,
+            free,
+            credit: ArrayQueue::new(capacity),
+            allocs: AtomicU64::new(0),
+            alloc_failures: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            credit_returns: AtomicU64::new(0),
+            credits_reclaimed: AtomicU64::new(0),
+            foreign_frees: AtomicU64::new(0),
+            cow_copies: AtomicU64::new(0),
+            slab_writes: AtomicU64::new(0),
+            in_use: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+        });
+        segment_table()
+            .lock()
+            .unwrap()
+            .insert(seg.id, Arc::downgrade(&seg));
+        Arena {
+            seg,
+            via_credit: false,
+        }
+    }
+
+    /// Derives a consumer mapping: same segment, but frees (and frees of
+    /// buffers allocated through it) take the credit-return ring.
+    pub fn consumer(&self) -> Arena {
+        Arena {
+            seg: Arc::clone(&self.seg),
+            via_credit: true,
+        }
+    }
+
+    /// Non-owning reference for registries.
+    pub fn weak(&self) -> WeakArena {
+        WeakArena {
+            seg: Arc::downgrade(&self.seg),
+        }
+    }
+
+    /// Allocates one empty mbuf with standard headroom, or `None` when the
+    /// segment is exhausted (after reclaiming any pending credits).
+    pub fn alloc(&self) -> Option<ArenaMbuf> {
+        let slot = self.seg.take_slot()?;
+        let data_off = ARENA_HEADROOM.min(self.seg.slot_size / 2);
+        Some(ArenaMbuf {
+            seg: Arc::clone(&self.seg),
+            slot,
+            via_credit: self.via_credit,
+            data_off,
+            data_len: 0,
+            port: 0,
+            udata: 0,
+            timestamp: 0,
+        })
+    }
+
+    /// Allocates and copies `data` into the slot — the single legitimate
+    /// slab write of a packet's life on a zero-copy chain (generator
+    /// ingress / NIC rx).
+    pub fn alloc_from(&self, data: &[u8]) -> Option<ArenaMbuf> {
+        let mut m = self.alloc()?;
+        if data.len() > m.tailroom() {
+            return None; // handle drops, slot returns
+        }
+        m.set_len(data.len());
+        m.data_mut().copy_from_slice(data);
+        Some(m)
+    }
+
+    /// Drains the credit-return ring into the freelist (owner-side batch
+    /// reclaim); returns how many slots moved. Also runs implicitly when
+    /// an allocation finds the freelist dry.
+    pub fn reclaim_credits(&self) -> usize {
+        self.seg.reclaim_credits()
+    }
+
+    /// Segment name.
+    pub fn name(&self) -> &str {
+        &self.seg.name
+    }
+
+    /// Globally unique segment id (what descriptors carry).
+    pub fn segment_id(&self) -> u64 {
+        self.seg.id
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.seg.capacity
+    }
+
+    /// Bytes per slot.
+    pub fn slot_size(&self) -> usize {
+        self.seg.slot_size
+    }
+
+    /// Slots on the freelist right now (excludes unreclaimed credits).
+    pub fn available(&self) -> usize {
+        self.seg.free.len()
+    }
+
+    /// Slots parked on the credit ring awaiting owner reclaim.
+    pub fn credit_pending(&self) -> usize {
+        self.seg.credit.len()
+    }
+
+    /// Slots currently in flight.
+    pub fn in_use(&self) -> usize {
+        self.seg.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ArenaStats {
+        let s = &self.seg;
+        ArenaStats {
+            capacity: s.capacity,
+            slot_size: s.slot_size,
+            available: s.free.len(),
+            credit_pending: s.credit.len(),
+            in_use: s.in_use.load(Ordering::Relaxed),
+            high_water: s.high_water.load(Ordering::Relaxed),
+            allocs: s.allocs.load(Ordering::Relaxed),
+            alloc_failures: s.alloc_failures.load(Ordering::Relaxed),
+            frees: s.frees.load(Ordering::Relaxed),
+            credit_returns: s.credit_returns.load(Ordering::Relaxed),
+            credits_reclaimed: s.credits_reclaimed.load(Ordering::Relaxed),
+            foreign_frees: s.foreign_frees.load(Ordering::Relaxed),
+            cow_copies: s.cow_copies.load(Ordering::Relaxed),
+            slab_writes: s.slab_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero-leak census: true when every slot is accounted for in the
+    /// freelist or the credit ring and nothing foreign ever came back.
+    pub fn census_clean(&self) -> bool {
+        self.in_use() == 0
+            && self.available() + self.credit_pending() == self.capacity()
+            && self.stats().foreign_frees == 0
+    }
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("name", &self.seg.name)
+            .field("id", &self.seg.id)
+            .field("capacity", &self.seg.capacity)
+            .field("available", &self.available())
+            .field("credit_pending", &self.credit_pending())
+            .field("consumer", &self.via_credit)
+            .finish()
+    }
+}
+
+/// An offset-based, refcounted packet handle over one arena slot.
+pub struct ArenaMbuf {
+    seg: Arc<ArenaSegment>,
+    slot: u32,
+    via_credit: bool,
+    data_off: usize,
+    data_len: usize,
+    /// Ingress port metadata.
+    pub port: u32,
+    /// Scratch metadata word.
+    pub udata: u64,
+    /// Cycle timestamp metadata word.
+    pub timestamp: u64,
+}
+
+impl ArenaMbuf {
+    fn rebind(seg: Arc<ArenaSegment>, desc: MbufDesc, via_credit: bool) -> ArenaMbuf {
+        ArenaMbuf {
+            seg,
+            slot: desc.slot,
+            via_credit,
+            data_off: desc.data_off as usize,
+            data_len: desc.len as usize,
+            port: desc.port,
+            udata: desc.udata,
+            timestamp: desc.timestamp,
+        }
+    }
+
+    fn slot_base(&self) -> usize {
+        self.slot as usize * self.seg.slot_size
+    }
+
+    fn refcount(&self) -> &AtomicU32 {
+        &self.seg.refcounts[self.slot as usize]
+    }
+
+    /// True when this handle is the slot's only reference.
+    pub fn is_unique(&self) -> bool {
+        self.refcount().load(Ordering::Acquire) == 1
+    }
+
+    /// Adds a reader: both handles see the same bytes, the slot returns to
+    /// its queue exactly once, when the last handle drops.
+    pub fn clone_ref(&self) -> ArenaMbuf {
+        self.refcount().fetch_add(1, Ordering::AcqRel);
+        ArenaMbuf {
+            seg: Arc::clone(&self.seg),
+            slot: self.slot,
+            via_credit: self.via_credit,
+            data_off: self.data_off,
+            data_len: self.data_len,
+            port: self.port,
+            udata: self.udata,
+            timestamp: self.timestamp,
+        }
+    }
+
+    /// Converts the handle into its ring descriptor *without* releasing the
+    /// slot: the reference moves into the descriptor, to be resurrected by
+    /// [`adopt`] on the other side. This is the descriptor-only enqueue.
+    pub fn into_desc(self) -> MbufDesc {
+        let mut this = ManuallyDrop::new(self);
+        let desc = MbufDesc {
+            segment_id: this.seg.id,
+            slot: this.slot,
+            data_off: this.data_off as u32,
+            len: this.data_len as u32,
+            port: this.port,
+            udata: this.udata,
+            timestamp: this.timestamp,
+        };
+        // Release the mapping Arc without running ArenaMbuf::drop — the
+        // slot's refcount travels inside the descriptor, not the Arc.
+        // SAFETY: `this` is ManuallyDrop, so `seg` is dropped exactly once.
+        unsafe { std::ptr::drop_in_place(&mut this.seg) };
+        desc
+    }
+
+    /// Packet bytes (shared read; any number of clones may read).
+    pub fn data(&self) -> &[u8] {
+        // SAFETY: mutable access requires refcount == 1 plus &mut, so no
+        // &mut alias can exist while shared handles read.
+        unsafe {
+            self.seg
+                .slab
+                .slice(self.slot_base() + self.data_off, self.data_len)
+        }
+    }
+
+    /// Mutable packet bytes. Panics on a shared slot — callers either hold
+    /// a unique handle or go through [`ArenaMbuf::make_unique`] /
+    /// the `Mbuf` wrapper's copy-on-write first.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        assert!(
+            self.is_unique(),
+            "data_mut on a shared arena mbuf; make_unique() first"
+        );
+        self.seg.slab_writes.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: refcount == 1 and we hold &mut — exclusive.
+        unsafe {
+            self.seg
+                .slab
+                .slice_mut(self.slot_base() + self.data_off, self.data_len)
+        }
+    }
+
+    /// The whole slot as shared bytes (the `Mbuf` wrapper addresses the
+    /// slot with its own offsets).
+    pub fn slot_bytes(&self) -> &[u8] {
+        // SAFETY: as in `data`.
+        unsafe { self.seg.slab.slice(self.slot_base(), self.seg.slot_size) }
+    }
+
+    /// The whole slot as mutable bytes; unique handles only (see
+    /// [`ArenaMbuf::data_mut`]). Counted as a slab write.
+    pub fn slot_bytes_mut(&mut self) -> &mut [u8] {
+        assert!(
+            self.is_unique(),
+            "slot_bytes_mut on a shared arena mbuf; make_unique() first"
+        );
+        self.seg.slab_writes.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: refcount == 1 and we hold &mut — exclusive.
+        unsafe {
+            self.seg
+                .slab
+                .slice_mut(self.slot_base(), self.seg.slot_size)
+        }
+    }
+
+    /// Copy-on-write: if the slot is shared, moves this handle onto a
+    /// fresh slot with a private copy of the bytes. Returns `false` (handle
+    /// untouched, still shared) when the arena is exhausted — callers with
+    /// a fallback (the `Mbuf` wrapper detaches to a heap copy) handle that.
+    pub fn make_unique(&mut self) -> bool {
+        if self.is_unique() {
+            return true;
+        }
+        let Some(new_slot) = self.seg.take_slot() else {
+            return false;
+        };
+        let (base_old, base_new) = (self.slot_base(), new_slot as usize * self.seg.slot_size);
+        self.seg.cow_copies.fetch_add(1, Ordering::Relaxed);
+        self.seg.slab_writes.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: new_slot was just allocated (exclusive); the old slot is
+        // only read, which shared handles permit. Slots are disjoint.
+        unsafe {
+            let src = self.seg.slab.slice(base_old, self.seg.slot_size);
+            let dst = self.seg.slab.slice_mut(base_new, self.seg.slot_size);
+            dst.copy_from_slice(src);
+        }
+        // Release our reference to the shared slot, keep the new one.
+        let old = self.slot;
+        self.slot = new_slot;
+        release_ref(&self.seg, old, self.via_credit);
+        true
+    }
+
+    /// Current packet length.
+    pub fn len(&self) -> usize {
+        self.data_len
+    }
+
+    /// True when the packet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data_len == 0
+    }
+
+    /// Bytes available in front of the packet.
+    pub fn headroom(&self) -> usize {
+        self.data_off
+    }
+
+    /// Bytes available after the packet.
+    pub fn tailroom(&self) -> usize {
+        self.seg.slot_size - self.data_off - self.data_len
+    }
+
+    /// Resizes the packet in place (must fit the slot).
+    pub fn set_len(&mut self, len: usize) {
+        assert!(
+            self.data_off + len <= self.seg.slot_size,
+            "arena mbuf set_len {len} exceeds slot"
+        );
+        self.data_len = len;
+    }
+
+    /// Segment id (diagnostics; what the descriptor would carry).
+    pub fn segment_id(&self) -> u64 {
+        self.seg.id
+    }
+
+    /// Slot index (diagnostics).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    pub(crate) fn data_off(&self) -> usize {
+        self.data_off
+    }
+
+    pub(crate) fn set_layout(&mut self, data_off: usize, data_len: usize) {
+        assert!(data_off + data_len <= self.seg.slot_size);
+        self.data_off = data_off;
+        self.data_len = data_len;
+    }
+}
+
+fn release_ref(seg: &Arc<ArenaSegment>, slot: u32, via_credit: bool) {
+    let prev = seg.refcounts[slot as usize].fetch_sub(1, Ordering::AcqRel);
+    debug_assert!(prev >= 1, "arena refcount underflow on slot {slot}");
+    if prev == 1 {
+        seg.return_slot(slot, via_credit);
+    }
+}
+
+impl Drop for ArenaMbuf {
+    fn drop(&mut self) {
+        release_ref(&self.seg, self.slot, self.via_credit);
+    }
+}
+
+impl std::fmt::Debug for ArenaMbuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArenaMbuf")
+            .field("segment", &self.seg.id)
+            .field("slot", &self.slot)
+            .field("len", &self.data_len)
+            .field("unique", &self.is_unique())
+            .field("via_credit", &self.via_credit)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(cap: usize) -> Arena {
+        Arena::new("t", cap, 512)
+    }
+
+    #[test]
+    fn alloc_until_exhausted_then_free_recovers() {
+        let a = arena(4);
+        let bufs: Vec<_> = (0..4).map(|_| a.alloc().unwrap()).collect();
+        assert_eq!(a.available(), 0);
+        assert_eq!(a.in_use(), 4);
+        assert!(a.alloc().is_none());
+        assert_eq!(a.stats().alloc_failures, 1);
+        drop(bufs);
+        assert_eq!(a.available(), 4);
+        assert!(a.census_clean());
+        assert_eq!(a.stats().high_water, 4);
+    }
+
+    #[test]
+    fn consumer_frees_take_the_credit_ring() {
+        let a = arena(4);
+        let c = a.consumer();
+        let m = a.alloc_from(&[1, 2, 3]).unwrap();
+        let desc = m.into_desc();
+        // The consumer adopts and drops: slot parks on the credit ring.
+        let got = adopt(desc).unwrap();
+        assert_eq!(got.data(), &[1, 2, 3]);
+        drop(got);
+        assert_eq!(a.credit_pending(), 1);
+        assert_eq!(a.available(), 3);
+        assert!(a.census_clean(), "credit ring counts as accounted-for");
+        // Owner reclaim folds it back.
+        assert_eq!(a.reclaim_credits(), 1);
+        assert_eq!(a.available(), 4);
+        let s = a.stats();
+        assert_eq!(s.credit_returns, 1);
+        assert_eq!(s.credits_reclaimed, 1);
+        drop(c);
+    }
+
+    #[test]
+    fn exhaustion_reclaims_credits_automatically() {
+        let a = arena(2);
+        let m1 = a.alloc().unwrap();
+        let m2 = a.alloc().unwrap();
+        // Consumer-return both slots (credit ring), freelist stays empty.
+        drop(adopt(m1.into_desc()).unwrap());
+        drop(adopt(m2.into_desc()).unwrap());
+        assert_eq!(a.available(), 0);
+        assert_eq!(a.credit_pending(), 2);
+        // Alloc succeeds anyway: take_slot reclaims the credits first.
+        assert!(a.alloc().is_some());
+        assert_eq!(a.stats().credits_reclaimed, 2);
+    }
+
+    #[test]
+    fn clone_ref_returns_slot_exactly_once() {
+        let a = arena(2);
+        let m = a.alloc_from(&[9; 16]).unwrap();
+        let c1 = m.clone_ref();
+        let c2 = c1.clone_ref();
+        assert!(!m.is_unique());
+        drop(m);
+        drop(c1);
+        assert_eq!(a.in_use(), 1, "slot still held by last clone");
+        assert_eq!(c2.data(), &[9; 16]);
+        drop(c2);
+        assert!(a.census_clean());
+        assert_eq!(a.stats().frees + a.stats().credit_returns, 1);
+    }
+
+    #[test]
+    fn descriptor_roundtrip_preserves_bytes_and_metadata() {
+        let a = arena(2);
+        let mut m = a.alloc_from(&[7, 8, 9]).unwrap();
+        m.port = 5;
+        m.udata = 0xfeed;
+        m.timestamp = 77;
+        let desc = m.into_desc();
+        assert_eq!(desc.len, 3);
+        let got = adopt(desc).unwrap();
+        assert_eq!(got.data(), &[7, 8, 9]);
+        assert_eq!((got.port, got.udata, got.timestamp), (5, 0xfeed, 77));
+        assert_eq!(a.in_use(), 1, "descriptor held the reference");
+    }
+
+    #[test]
+    fn adopt_after_segment_teardown_fails_cleanly() {
+        let a = arena(2);
+        let desc = a.alloc().unwrap().into_desc();
+        drop(a); // segment gone: Weak in the table dies
+        assert!(adopt(desc).is_none());
+    }
+
+    #[test]
+    fn cow_gives_a_private_copy() {
+        let a = arena(4);
+        let mut m = a.alloc_from(&[1, 1, 1]).unwrap();
+        let reader = m.clone_ref();
+        assert!(m.make_unique());
+        m.data_mut()[0] = 42;
+        assert_eq!(reader.data(), &[1, 1, 1], "reader unaffected");
+        assert_eq!(m.data(), &[42, 1, 1]);
+        assert_eq!(a.stats().cow_copies, 1);
+        drop((m, reader));
+        assert!(a.census_clean());
+    }
+
+    #[test]
+    fn cow_fails_when_exhausted_without_corrupting() {
+        let a = arena(1);
+        let mut m = a.alloc_from(&[5]).unwrap();
+        let reader = m.clone_ref();
+        assert!(!m.make_unique(), "no free slot for the copy");
+        assert_eq!(reader.data(), &[5]);
+        drop((m, reader));
+        assert!(a.census_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "shared arena mbuf")]
+    fn data_mut_on_shared_slot_panics() {
+        let a = arena(2);
+        let mut m = a.alloc_from(&[1]).unwrap();
+        let _reader = m.clone_ref();
+        let _ = m.data_mut();
+    }
+
+    #[test]
+    fn slab_writes_count_only_mutable_access() {
+        let a = arena(2);
+        let m = a.alloc_from(&[1, 2, 3]).unwrap(); // 1 write (ingress copy)
+        assert_eq!(a.stats().slab_writes, 1);
+        let _ = m.data(); // reads are free
+        let _ = m.slot_bytes();
+        assert_eq!(a.stats().slab_writes, 1);
+    }
+
+    #[test]
+    fn cross_thread_descriptor_handoff() {
+        let a = arena(64);
+        let (tx, rx) = std::sync::mpsc::channel::<MbufDesc>();
+        let t = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            for desc in rx {
+                let m = adopt(desc).unwrap();
+                sum += m.data()[0] as u64;
+            }
+            sum
+        });
+        for i in 0..1000u64 {
+            let m = loop {
+                match a.alloc_from(&[(i % 251) as u8]) {
+                    Some(m) => break m,
+                    None => std::thread::yield_now(),
+                }
+            };
+            tx.send(m.into_desc()).unwrap();
+        }
+        drop(tx);
+        let sum = t.join().unwrap();
+        assert_eq!(sum, (0..1000u64).map(|i| i % 251).sum::<u64>());
+        a.reclaim_credits();
+        assert!(a.census_clean());
+    }
+}

@@ -20,16 +20,24 @@
 //! * Mbufs carry the few metadata fields the reproduction needs (input port,
 //!   a 64-bit user scratch word and a timestamp), and return their buffer to
 //!   the owning pool on drop, exactly like `rte_pktmbuf_free`.
+//! * The shared-memory highway allocates from [`Arena`] segments whose
+//!   handles are **offset-based** ([`MbufDesc`]): valid in any process that
+//!   maps the segment, with refcounted multi-reader handoff and a
+//!   credit-return ring for cross-mapping recycling — the representation an
+//!   ivshmem BAR actually permits.
 
+pub mod arena;
 pub mod cycles;
 pub mod ethdev;
+pub mod events;
 pub mod mbuf;
 pub mod mempool;
 pub mod ring;
 
+pub use arena::{Arena, ArenaMbuf, ArenaStats, MbufDesc, WeakArena};
 pub use ethdev::{DevStats, EthDev, LoopbackDev};
 pub use mbuf::Mbuf;
-pub use mempool::{Mempool, MempoolStats};
+pub use mempool::{Mempool, MempoolStats, WeakMempool};
 pub use ring::{spsc_ring, MpmcRing, RingError, SpscConsumer, SpscProducer};
 
 /// Default mbuf data room, matching DPDK's `RTE_MBUF_DEFAULT_BUF_SIZE` minus

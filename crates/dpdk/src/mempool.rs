@@ -2,10 +2,11 @@
 //! never grows the pool, freeing returns the buffer for reuse, and exhaustion
 //! is an observable condition (the classic cause of rx drops under load).
 
+use crate::events;
 use crate::mbuf::Mbuf;
 use crossbeam::queue::ArrayQueue;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// Counters describing pool behaviour since creation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,6 +17,10 @@ pub struct MempoolStats {
     pub alloc_failures: u64,
     /// Buffers returned to the pool.
     pub frees: u64,
+    /// Returned buffers the pool never issued (double free or cross-pool
+    /// confusion). These are dropped, but counted — must stay 0 in a
+    /// healthy system.
+    pub foreign_frees: u64,
 }
 
 pub(crate) struct MempoolInner {
@@ -26,14 +31,21 @@ pub(crate) struct MempoolInner {
     allocs: AtomicU64,
     alloc_failures: AtomicU64,
     frees: AtomicU64,
+    foreign_frees: AtomicU64,
 }
 
 impl MempoolInner {
     pub(crate) fn put_back(&self, buf: Box<[u8]>) {
-        self.frees.fetch_add(1, Ordering::Relaxed);
         // Pool capacity equals the number of buffers ever created, so a push
-        // can only fail if a foreign buffer is injected; drop it in that case.
-        let _ = self.free.push(buf);
+        // can only fail if a foreign buffer is injected. The buffer is still
+        // dropped, but the event is counted and exported — a silent discard
+        // here previously made this whole leak class invisible.
+        if self.free.push(buf).is_ok() {
+            self.frees.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.foreign_frees.fetch_add(1, Ordering::Relaxed);
+            events::emit("mempool_foreign_free", 1);
+        }
     }
 }
 
@@ -64,6 +76,7 @@ impl Mempool {
                 allocs: AtomicU64::new(0),
                 alloc_failures: AtomicU64::new(0),
                 frees: AtomicU64::new(0),
+                foreign_frees: AtomicU64::new(0),
             }),
         }
     }
@@ -83,6 +96,7 @@ impl Mempool {
             }
             None => {
                 self.inner.alloc_failures.fetch_add(1, Ordering::Relaxed);
+                events::emit("mempool_alloc_failure", 1);
                 None
             }
         }
@@ -131,7 +145,29 @@ impl Mempool {
             allocs: self.inner.allocs.load(Ordering::Relaxed),
             alloc_failures: self.inner.alloc_failures.load(Ordering::Relaxed),
             frees: self.inner.frees.load(Ordering::Relaxed),
+            foreign_frees: self.inner.foreign_frees.load(Ordering::Relaxed),
         }
+    }
+
+    /// Non-owning reference for registries (telemetry) that must not keep
+    /// a dead pool alive.
+    pub fn weak(&self) -> WeakMempool {
+        WeakMempool {
+            inner: Arc::downgrade(&self.inner),
+        }
+    }
+}
+
+/// Non-owning mempool reference; see [`Mempool::weak`].
+#[derive(Clone)]
+pub struct WeakMempool {
+    inner: Weak<MempoolInner>,
+}
+
+impl WeakMempool {
+    /// Upgrades to a live pool handle, if the pool still exists.
+    pub fn upgrade(&self) -> Option<Mempool> {
+        self.inner.upgrade().map(|inner| Mempool { inner })
     }
 }
 
@@ -180,6 +216,26 @@ mod tests {
         assert!(pool.alloc_from(&[0u8; 9]).is_none());
         // The failed copy must not leak a buffer.
         assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn foreign_frees_are_counted_not_silently_dropped() {
+        let pool = Mempool::new("t", 2, 64);
+        // Full pool + an injected buffer it never issued: the push fails.
+        pool.inner.put_back(vec![0u8; 64].into_boxed_slice());
+        let s = pool.stats();
+        assert_eq!(s.foreign_frees, 1);
+        assert_eq!(s.frees, 0, "a foreign free is not a free");
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn weak_handle_upgrades_while_pool_lives() {
+        let pool = Mempool::new("t", 1, 64);
+        let weak = pool.weak();
+        assert!(weak.upgrade().is_some());
+        drop(pool);
+        assert!(weak.upgrade().is_none());
     }
 
     #[test]

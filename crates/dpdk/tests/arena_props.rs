@@ -1,0 +1,179 @@
+//! Property suite for the shared-arena allocator (satellite of the
+//! zero-copy highway PR):
+//!
+//! 1. live handles never overlap — every allocated slot is distinct and
+//!    writes through one handle are invisible through any other;
+//! 2. exhaustion then free recovers full capacity, whichever mapping
+//!    (owner freelist or consumer credit ring) the frees went through;
+//! 3. refcounted clones return the slot exactly once, no matter how the
+//!    clones/descriptors are dropped or adopted;
+//! 4. a random interleaving of alloc / clone_ref / into_desc→adopt / free
+//!    ends with a zero-leak census: `in_use == 0`,
+//!    `available + credit_pending == capacity`, `foreign_frees == 0`.
+
+use dpdk_sim::arena::adopt;
+use dpdk_sim::{Arena, ArenaMbuf};
+use proptest::prelude::*;
+
+/// One step of the random-interleaving machine.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Allocate (from the owner or the consumer mapping) and fill with a tag.
+    Alloc { via_consumer: bool },
+    /// clone_ref an arbitrary live handle.
+    Clone { pick: usize },
+    /// Round-trip an arbitrary live handle through a descriptor + adopt.
+    DescHop { pick: usize },
+    /// Drop an arbitrary live handle.
+    Free { pick: usize },
+    /// Owner-side credit reclaim.
+    Reclaim,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::bool::ANY.prop_map(|via_consumer| Op::Alloc { via_consumer }),
+        (0usize..64).prop_map(|pick| Op::Clone { pick }),
+        (0usize..64).prop_map(|pick| Op::DescHop { pick }),
+        (0usize..64).prop_map(|pick| Op::Free { pick }),
+        Just(Op::Reclaim),
+    ]
+}
+
+/// Tag written into a slot at allocation time, checked on every observation.
+fn tag(i: usize) -> [u8; 4] {
+    let b = (i as u32).to_le_bytes();
+    [b[0], b[1], b[2], b[3]]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn live_handles_never_overlap(cap in 1usize..32, extra in 0usize..8) {
+        let arena = Arena::new("props", cap, 256);
+        let want = cap + extra; // over-ask: the tail must fail, not alias
+        let mut live: Vec<ArenaMbuf> = Vec::new();
+        for i in 0..want {
+            match arena.alloc_from(&tag(i)) {
+                Some(m) => live.push(m),
+                None => prop_assert!(live.len() == cap, "failed before exhaustion"),
+            }
+        }
+        prop_assert_eq!(live.len(), cap);
+        // Distinct slots, and every handle still reads its own tag — a
+        // write through any overlapping handle would have clobbered one.
+        let mut slots: Vec<u32> = live.iter().map(|m| m.slot()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        prop_assert_eq!(slots.len(), cap, "two live handles share a slot");
+        for (i, m) in live.iter().enumerate() {
+            prop_assert_eq!(m.data(), &tag(i));
+        }
+    }
+
+    #[test]
+    fn exhaustion_then_free_recovers_full_capacity(
+        cap in 1usize..32,
+        free_via_consumer in proptest::collection::vec(proptest::bool::ANY, 32..33),
+    ) {
+        let arena = Arena::new("props", cap, 256);
+        let live: Vec<ArenaMbuf> = (0..cap).map(|i| arena.alloc_from(&tag(i)).unwrap()).collect();
+        prop_assert!(arena.alloc().is_none());
+        // Free each handle through a randomly chosen mapping: direct drop
+        // (owner freelist) or a descriptor hop adopted by a consumer
+        // (credit ring).
+        for (i, m) in live.into_iter().enumerate() {
+            if free_via_consumer[i % free_via_consumer.len()] {
+                drop(adopt(m.into_desc()).unwrap());
+            } else {
+                drop(m);
+            }
+        }
+        prop_assert!(arena.census_clean(), "census: {:?}", arena.stats());
+        // Full capacity is allocatable again (reclaim happens inside alloc).
+        let again: Vec<_> = (0..cap).map(|_| arena.alloc().unwrap()).collect();
+        prop_assert_eq!(again.len(), cap);
+    }
+
+    #[test]
+    fn clones_return_the_slot_exactly_once(n_clones in 1usize..12, hop_mask in 0u32..4096) {
+        let arena = Arena::new("props", 4, 256);
+        let m = arena.alloc_from(&tag(7)).unwrap();
+        let mut handles = vec![m];
+        for i in 0..n_clones {
+            let c = handles[i % handles.len()].clone_ref();
+            // Some clones additionally take a descriptor hop first.
+            if hop_mask & (1 << (i % 12)) != 0 {
+                handles.push(adopt(c.into_desc()).unwrap());
+            } else {
+                handles.push(c);
+            }
+        }
+        prop_assert_eq!(arena.in_use(), 1, "all clones share one slot");
+        while handles.len() > 1 {
+            handles.swap_remove(hop_mask as usize % handles.len());
+            prop_assert_eq!(arena.in_use(), 1, "slot freed while clones live");
+        }
+        drop(handles);
+        arena.reclaim_credits();
+        prop_assert_eq!(arena.available(), 4);
+        let s = arena.stats();
+        prop_assert_eq!(s.frees + s.credit_returns, 1, "slot returned exactly once");
+        prop_assert_eq!(s.foreign_frees, 0);
+    }
+
+    #[test]
+    fn random_interleaving_ends_with_zero_leak_census(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        cap in 1usize..16,
+    ) {
+        let arena = Arena::new("props", cap, 256);
+        let consumer = arena.consumer();
+        let mut live: Vec<(usize, ArenaMbuf)> = Vec::new();
+        let mut next_id = 0usize;
+        for op in ops {
+            match op {
+                Op::Alloc { via_consumer } => {
+                    let from = if via_consumer { &consumer } else { &arena };
+                    if let Some(m) = from.alloc_from(&tag(next_id)) {
+                        live.push((next_id, m));
+                        next_id += 1;
+                    }
+                }
+                Op::Clone { pick } if !live.is_empty() => {
+                    let (id, m) = &live[pick % live.len()];
+                    let (id, c) = (*id, m.clone_ref());
+                    live.push((id, c));
+                }
+                Op::DescHop { pick } if !live.is_empty() => {
+                    let (id, m) = live.swap_remove(pick % live.len());
+                    let back = adopt(m.into_desc()).unwrap();
+                    live.push((id, back));
+                }
+                Op::Free { pick } if !live.is_empty() => {
+                    live.swap_remove(pick % live.len());
+                }
+                Op::Reclaim => {
+                    arena.reclaim_credits();
+                }
+                _ => {}
+            }
+            // Interleaving invariant: every live handle still reads the
+            // bytes written at its allocation.
+            for (id, m) in &live {
+                prop_assert_eq!(m.data(), &tag(*id), "slot contents clobbered");
+            }
+            prop_assert_eq!(arena.in_use(), count_distinct_slots(&live));
+        }
+        drop(live);
+        prop_assert!(arena.census_clean(), "census: {:?}", arena.stats());
+    }
+}
+
+fn count_distinct_slots(live: &[(usize, ArenaMbuf)]) -> usize {
+    let mut slots: Vec<u32> = live.iter().map(|(_, m)| m.slot()).collect();
+    slots.sort_unstable();
+    slots.dedup();
+    slots.len()
+}

@@ -383,6 +383,8 @@ impl Datapath {
             coverage: coverage::snapshot(),
             traces_retained: self.trace.len(),
             trace_groups_observed: self.trace.observed(),
+            pools: telemetry::pools::snapshot_pools(),
+            doorbells: telemetry::pools::doorbell_totals(),
         }
     }
 

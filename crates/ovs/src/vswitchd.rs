@@ -33,6 +33,11 @@ pub struct VSwitchdConfig {
     /// busy/idle cycle accounting, sampled packet traces). Counters tick
     /// regardless; this only gates the cycle reads on the hot path.
     pub telemetry: bool,
+    /// Doorbell coalescing threshold applied to the switch side of every
+    /// dpdkr channel: ring the peer's doorbell at most once per this many
+    /// packets (0/1 = per-packet). Interrupt-suppression-style batching;
+    /// delivery is poll-based either way, this bounds notification cost.
+    pub doorbell_coalesce: usize,
 }
 
 impl Default for VSwitchdConfig {
@@ -55,6 +60,12 @@ impl Default for VSwitchdConfig {
             telemetry: std::env::var("HIGHWAY_TELEMETRY")
                 .map(|v| v != "0" && !v.eq_ignore_ascii_case("off"))
                 .unwrap_or(true),
+            // `HIGHWAY_DOORBELL` overrides the packets-per-notification
+            // threshold (e.g. 1 to measure the per-packet baseline).
+            doorbell_coalesce: std::env::var("HIGHWAY_DOORBELL")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(shmem_sim::DEFAULT_DOORBELL_COALESCE),
         }
     }
 }
@@ -67,6 +78,7 @@ pub struct VSwitchd {
     threads: parking_lot::Mutex<Vec<JoinHandle<()>>>,
     housekeeping: Duration,
     pmd_threads: usize,
+    doorbell_coalesce: usize,
 }
 
 impl VSwitchd {
@@ -82,6 +94,7 @@ impl VSwitchd {
             threads: parking_lot::Mutex::new(Vec::new()),
             housekeeping: config.housekeeping_interval,
             pmd_threads: config.pmd_threads.max(1),
+            doorbell_coalesce: config.doorbell_coalesce,
         }
     }
 
@@ -114,8 +127,9 @@ impl VSwitchd {
         &self,
         no: PortNo,
         name: impl Into<String>,
-        end: ChannelEnd,
+        mut end: ChannelEnd,
     ) -> Arc<OvsPort> {
+        end.set_doorbell_coalesce(self.doorbell_coalesce);
         let port = self.dp.add_port(OvsPort::dpdkr(no, name, end));
         self.ofproto
             .announce_port(no, &port.name, openflow::PortStatusReason::Add);

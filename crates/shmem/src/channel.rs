@@ -4,14 +4,79 @@
 //! and receives on the other. This is exactly the structure of a `dpdkr`
 //! port (VM endpoint ↔ vSwitch endpoint) and of a bypass connection
 //! (VM endpoint ↔ VM endpoint).
+//!
+//! The rings carry [`PktSlot`]s, not mbufs: an arena-backed packet is
+//! enqueued as its POD [`MbufDesc`] — segment id plus offsets, the only
+//! representation valid on both sides of an ivshmem BAR — so a hop moves
+//! ~32 bytes of descriptor while the payload stays put in the shared slab
+//! (the zero-copy hop). Heap-backed mbufs still travel by value, keeping
+//! every legacy producer working. Each direction has a batched
+//! [`Doorbell`]: senders accumulate notifications and ring once per burst
+//! instead of once per packet.
 
-use dpdk_sim::{spsc_ring, Mbuf, SpscConsumer, SpscProducer};
+use crate::doorbell::Doorbell;
+use dpdk_sim::arena::adopt;
+use dpdk_sim::{spsc_ring, Mbuf, MbufDesc, SpscConsumer, SpscProducer};
+
+/// What a ring slot carries: an owned heap mbuf, or an arena descriptor
+/// (the zero-copy representation).
+#[derive(Debug)]
+pub enum PktSlotKind {
+    /// Process-private mbuf, moved by value (legacy path).
+    Boxed(Mbuf),
+    /// Offset-based handle into a shared arena segment.
+    Desc(MbufDesc),
+}
+
+/// One slot on a channel ring. The wrapper exists for its `Drop`: a ring
+/// destroyed with descriptors still in flight (endpoint dropped before the
+/// peer drained it) releases each slot's arena reference instead of
+/// leaking it — the shared-arena analogue of a ring freeing its mbufs.
+#[derive(Debug)]
+pub struct PktSlot(Option<PktSlotKind>);
+
+impl PktSlot {
+    fn new(kind: PktSlotKind) -> PktSlot {
+        PktSlot(Some(kind))
+    }
+
+    fn take_kind(mut self) -> PktSlotKind {
+        self.0.take().expect("slot consumed exactly once")
+    }
+}
+
+impl Drop for PktSlot {
+    fn drop(&mut self) {
+        if let Some(PktSlotKind::Desc(desc)) = self.0.take() {
+            // Adopt-and-free: the arena slot travels the credit ring home.
+            // A dead segment yields None, which is already accounted.
+            drop(adopt(desc));
+        }
+    }
+}
+
+/// Per-endpoint channel counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelEndStats {
+    /// Packets sent as arena descriptors (zero-copy hops).
+    pub desc_sent: u64,
+    /// Packets sent as owned heap mbufs (copy/move path).
+    pub boxed_sent: u64,
+    /// Received descriptors whose segment was no longer mapped — the
+    /// packet is lost, exactly like traffic in flight across an unmap.
+    pub unmapped_drops: u64,
+}
 
 /// One endpoint of a bidirectional packet channel.
 pub struct ChannelEnd {
     name: String,
-    tx: SpscProducer<Mbuf>,
-    rx: SpscConsumer<Mbuf>,
+    tx: SpscProducer<PktSlot>,
+    rx: SpscConsumer<PktSlot>,
+    /// Doorbell this endpoint rings as it transmits.
+    tx_bell: Doorbell,
+    /// Doorbell the peer rings toward this endpoint (consumer side).
+    rx_bell: Doorbell,
+    stats: ChannelEndStats,
 }
 
 /// Creates a channel whose two directions each hold `depth` packets.
@@ -21,16 +86,24 @@ pub fn channel(name: impl Into<String>, depth: usize) -> (ChannelEnd, ChannelEnd
     let name = name.into();
     let (a_tx, b_rx) = spsc_ring(depth);
     let (b_tx, a_rx) = spsc_ring(depth);
+    let ab_bell = Doorbell::default();
+    let ba_bell = Doorbell::default();
     (
         ChannelEnd {
             name: format!("{name}.a"),
             tx: a_tx,
             rx: a_rx,
+            tx_bell: ab_bell.clone(),
+            rx_bell: ba_bell.clone(),
+            stats: ChannelEndStats::default(),
         },
         ChannelEnd {
             name: format!("{name}.b"),
             tx: b_tx,
             rx: b_rx,
+            tx_bell: ba_bell,
+            rx_bell: ab_bell,
+            stats: ChannelEndStats::default(),
         },
     )
 }
@@ -41,25 +114,116 @@ impl ChannelEnd {
         &self.name
     }
 
-    /// Sends one packet; hands it back when the ring is full.
+    fn slot_of(&mut self, pkt: Mbuf) -> PktSlot {
+        match pkt.try_into_desc() {
+            Ok(desc) => {
+                self.stats.desc_sent += 1;
+                PktSlot::new(PktSlotKind::Desc(desc))
+            }
+            Err(m) => {
+                self.stats.boxed_sent += 1;
+                PktSlot::new(PktSlotKind::Boxed(m))
+            }
+        }
+    }
+
+    fn mbuf_of(&mut self, slot: PktSlot) -> Option<Mbuf> {
+        match slot.take_kind() {
+            PktSlotKind::Boxed(m) => Some(m),
+            PktSlotKind::Desc(desc) => match adopt(desc) {
+                Some(am) => Some(Mbuf::from_arena(am)),
+                None => {
+                    self.stats.unmapped_drops += 1;
+                    None
+                }
+            },
+        }
+    }
+
+    /// Sends one packet; hands it back when the ring is full. The deferred
+    /// doorbell notification is accumulated — call
+    /// [`ChannelEnd::flush_doorbell`] at the end of a send loop (burst
+    /// sends flush automatically).
     pub fn send(&mut self, pkt: Mbuf) -> Result<(), Mbuf> {
-        self.tx.enqueue(pkt)
+        // Pre-check keeps the descriptor conversion off the failure path:
+        // we are the only producer, so free space cannot shrink under us.
+        if self.tx.free_space() == 0 {
+            return Err(pkt);
+        }
+        let slot = self.slot_of(pkt);
+        self.tx
+            .enqueue(slot)
+            .unwrap_or_else(|_| unreachable!("free slot checked; single producer"));
+        self.tx_bell.notify(1);
+        Ok(())
     }
 
     /// Sends as many packets as fit, draining them from the front of `pkts`;
-    /// returns how many were sent.
+    /// returns how many were sent. Rings the doorbell once for the burst.
     pub fn send_burst(&mut self, pkts: &mut Vec<Mbuf>) -> usize {
-        self.tx.enqueue_burst(pkts)
+        let fits = self.tx.free_space().min(pkts.len());
+        let mut sent = 0;
+        for pkt in pkts.drain(..fits) {
+            let slot = self.slot_of(pkt);
+            self.tx
+                .enqueue(slot)
+                .unwrap_or_else(|_| unreachable!("free space checked; single producer"));
+            sent += 1;
+        }
+        self.tx_bell.notify(sent);
+        self.tx_bell.flush();
+        sent
     }
 
-    /// Receives one packet if available.
+    /// Rings the tx doorbell for any notifications deferred by coalescing.
+    /// Producers call this at the end of their poll iteration.
+    pub fn flush_doorbell(&mut self) {
+        self.tx_bell.flush();
+    }
+
+    /// Consumes the rx doorbell hint: true when the peer rang since the
+    /// last take. Purely advisory — packets are visible regardless.
+    pub fn take_doorbell(&mut self) -> bool {
+        self.rx_bell.take()
+    }
+
+    /// Sets the tx-side doorbell coalescing threshold (packets per
+    /// notification; 0/1 = per-packet).
+    pub fn set_doorbell_coalesce(&mut self, threshold: usize) {
+        self.tx_bell.set_threshold(threshold);
+    }
+
+    /// The doorbell this endpoint rings when transmitting (shared with the
+    /// peer's rx side).
+    pub fn tx_doorbell(&self) -> &Doorbell {
+        &self.tx_bell
+    }
+
+    /// Receives one packet if available. Descriptors whose segment has
+    /// been unmapped are dropped (counted in
+    /// [`ChannelEndStats::unmapped_drops`]) and the next slot is tried.
     pub fn recv(&mut self) -> Option<Mbuf> {
-        self.rx.dequeue()
+        while let Some(slot) = self.rx.dequeue() {
+            if let Some(m) = self.mbuf_of(slot) {
+                return Some(m);
+            }
+        }
+        None
     }
 
     /// Receives up to `max` packets into `out`; returns how many arrived.
     pub fn recv_burst(&mut self, out: &mut Vec<Mbuf>, max: usize) -> usize {
-        self.rx.dequeue_burst(out, max)
+        let mut got = 0;
+        while got < max {
+            match self.recv() {
+                Some(m) => {
+                    out.push(m);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
     }
 
     /// Packets waiting to be received by *this* endpoint.
@@ -86,6 +250,11 @@ impl ChannelEnd {
     pub fn peer_gone(&self) -> bool {
         self.tx.is_disconnected() || self.rx.is_disconnected()
     }
+
+    /// Per-endpoint transfer counters.
+    pub fn stats(&self) -> ChannelEndStats {
+        self.stats
+    }
 }
 
 impl std::fmt::Debug for ChannelEnd {
@@ -94,6 +263,8 @@ impl std::fmt::Debug for ChannelEnd {
             .field("name", &self.name)
             .field("pending_rx", &self.pending_rx())
             .field("pending_tx", &self.pending_tx())
+            .field("desc_sent", &self.stats.desc_sent)
+            .field("boxed_sent", &self.stats.boxed_sent)
             .finish()
     }
 }
@@ -101,6 +272,7 @@ impl std::fmt::Debug for ChannelEnd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpdk_sim::Arena;
 
     #[test]
     fn both_directions_carry_packets() {
@@ -139,6 +311,94 @@ mod tests {
         assert!(!a.peer_gone());
         drop(b);
         assert!(a.peer_gone());
+    }
+
+    #[test]
+    fn arena_packets_travel_as_descriptors() {
+        let arena = Arena::new("chan-arena", 8, 512);
+        let (mut a, mut b) = channel("t", 8);
+        let writes_before = arena.stats().slab_writes;
+        let mut m = Mbuf::from_arena(arena.alloc_from(&[9, 8, 7]).unwrap());
+        m.udata = 0x55;
+        a.send(m).unwrap();
+        assert_eq!(a.stats().desc_sent, 1);
+        assert_eq!(a.stats().boxed_sent, 0);
+        let got = b.recv().unwrap();
+        assert!(got.is_arena(), "arrives still arena-backed");
+        assert_eq!(got.data(), &[9, 8, 7]);
+        assert_eq!(got.udata, 0x55);
+        assert_eq!(
+            arena.stats().slab_writes,
+            writes_before + 1,
+            "only the ingress copy touched the slab"
+        );
+        drop(got);
+        arena.reclaim_credits();
+        assert!(arena.census_clean());
+    }
+
+    #[test]
+    fn boxed_packets_still_travel_by_value() {
+        let (mut a, mut b) = channel("t", 4);
+        a.send(Mbuf::from_slice(&[1, 2])).unwrap();
+        assert_eq!(a.stats().boxed_sent, 1);
+        assert!(!b.recv().unwrap().is_arena());
+    }
+
+    #[test]
+    fn unmapped_segment_descriptors_are_dropped_not_wedged() {
+        let arena = Arena::new("chan-gone", 4, 256);
+        let (mut a, mut b) = channel("t", 8);
+        a.send(Mbuf::from_arena(arena.alloc_from(&[1]).unwrap()))
+            .unwrap();
+        a.send(Mbuf::from_slice(&[2])).unwrap();
+        drop(arena); // segment unmapped while a desc is in flight
+        let got = b.recv().expect("recv skips the dead desc");
+        assert_eq!(got.data(), &[2]);
+        assert_eq!(b.stats().unmapped_drops, 1);
+    }
+
+    #[test]
+    fn ring_drop_releases_in_flight_descriptors() {
+        let arena = Arena::new("chan-teardown", 8, 256);
+        let (mut a, b) = channel("t", 8);
+        for i in 0u8..3 {
+            a.send(Mbuf::from_arena(arena.alloc_from(&[i]).unwrap()))
+                .unwrap();
+        }
+        assert_eq!(arena.in_use(), 3);
+        // Endpoints die with the packets still queued — no leak.
+        drop(a);
+        drop(b);
+        arena.reclaim_credits();
+        assert!(arena.census_clean(), "census: {:?}", arena.stats());
+        assert_eq!(arena.stats().foreign_frees, 0);
+    }
+
+    #[test]
+    fn doorbell_coalesces_across_a_burst() {
+        let (mut a, mut b) = channel("t", 64);
+        a.set_doorbell_coalesce(32);
+        let mut pkts: Vec<Mbuf> = (0u8..16).map(|i| Mbuf::from_slice(&[i])).collect();
+        a.send_burst(&mut pkts);
+        assert_eq!(a.tx_doorbell().rings(), 1, "one ring for 16 packets");
+        assert!(b.take_doorbell(), "consumer sees the hint");
+        assert!(!b.take_doorbell(), "edge-triggered");
+        let mut out = Vec::new();
+        assert_eq!(b.recv_burst(&mut out, 32), 16);
+    }
+
+    #[test]
+    fn single_sends_defer_until_flush() {
+        let (mut a, _b) = channel("t", 64);
+        a.set_doorbell_coalesce(32);
+        for i in 0u8..5 {
+            a.send(Mbuf::from_slice(&[i])).unwrap();
+        }
+        assert_eq!(a.tx_doorbell().rings(), 0, "below threshold: deferred");
+        a.flush_doorbell();
+        assert_eq!(a.tx_doorbell().rings(), 1);
+        assert_eq!(a.tx_doorbell().notified_pkts(), 5);
     }
 
     #[test]
@@ -185,5 +445,76 @@ mod tests {
             }
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_arena_descriptor_chain() {
+        // generator -> hop -> sink over two channels, arena end to end:
+        // payload written once, hop relays descriptors untouched.
+        let arena = Arena::new("chan-chain", 256, 512);
+        let (mut gen_end, mut hop_in) = channel("seg1", 64);
+        let (mut hop_out, mut sink_end) = channel("seg2", 64);
+        let hop = std::thread::spawn(move || {
+            let mut relayed = 0;
+            while relayed < 500 {
+                if let Some(m) = hop_in.recv() {
+                    let mut m = Some(m);
+                    while let Some(p) = m.take() {
+                        if let Err(back) = hop_out.send(p) {
+                            m = Some(back);
+                            std::thread::yield_now();
+                        }
+                    }
+                    relayed += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let consumer = arena.consumer();
+        let sink = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            let mut got = 0;
+            while got < 500 {
+                if let Some(m) = sink_end.recv() {
+                    sum += m.data()[0] as u64;
+                    got += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            drop(consumer);
+            sum
+        });
+        let mut sent = 0u64;
+        while sent < 500 {
+            match arena.alloc_from(&[(sent % 100) as u8]) {
+                Some(am) => {
+                    let mut m = Some(Mbuf::from_arena(am));
+                    while let Some(p) = m.take() {
+                        if let Err(back) = gen_end.send(p) {
+                            m = Some(back);
+                            arena.reclaim_credits();
+                            std::thread::yield_now();
+                        }
+                    }
+                    sent += 1;
+                }
+                None => {
+                    arena.reclaim_credits();
+                    std::thread::yield_now();
+                }
+            }
+        }
+        hop.join().unwrap();
+        let sum = sink.join().unwrap();
+        assert_eq!(sum, (0..500u64).map(|i| i % 100).sum::<u64>());
+        arena.reclaim_credits();
+        assert!(arena.census_clean(), "census: {:?}", arena.stats());
+        assert_eq!(
+            arena.stats().slab_writes,
+            500,
+            "one ingress write per packet, zero per hop"
+        );
     }
 }

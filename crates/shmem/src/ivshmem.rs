@@ -50,9 +50,13 @@ impl std::fmt::Debug for IvshmemDevice {
 
 /// A VM's hot-pluggable device slots, shared between the host (QEMU/compute
 /// agent, which plugs and unplugs) and the guest (which discovers and maps).
+/// Also carries the guest's mapping of the host packet arena: the hugepage
+/// segment QEMU maps read-write into every highway VM, through which the
+/// guest PMD resolves and allocates offset-based mbufs.
 #[derive(Default)]
 pub struct DeviceBoard {
     slots: parking_lot::Mutex<std::collections::HashMap<String, IvshmemDevice>>,
+    arena: parking_lot::Mutex<Option<dpdk_sim::Arena>>,
 }
 
 impl DeviceBoard {
@@ -78,6 +82,18 @@ impl DeviceBoard {
     /// Returns `None` when the device is absent or already mapped.
     pub fn map_segment(&self, segment_name: &str) -> Option<ChannelEnd> {
         self.slots.lock().get_mut(segment_name)?.map()
+    }
+
+    /// Host side: maps the packet arena into the VM (as a consumer
+    /// mapping — the guest recycles buffers through the credit ring).
+    /// Idempotent for the same segment; a re-plug simply replaces it.
+    pub fn set_arena(&self, arena: &dpdk_sim::Arena) {
+        *self.arena.lock() = Some(arena.consumer());
+    }
+
+    /// Guest side: the VM's mapping of the packet arena, if one is plugged.
+    pub fn arena(&self) -> Option<dpdk_sim::Arena> {
+        self.arena.lock().clone()
     }
 
     /// Devices currently plugged.
@@ -121,6 +137,20 @@ mod tests {
     fn map_missing_segment_is_none() {
         let board = DeviceBoard::new();
         assert!(board.map_segment("nope").is_none());
+    }
+
+    #[test]
+    fn arena_mapping_is_a_consumer_view() {
+        let board = DeviceBoard::new();
+        assert!(board.arena().is_none());
+        let host = dpdk_sim::Arena::new("vm-arena", 4, 256);
+        board.set_arena(&host);
+        let guest = board.arena().unwrap();
+        assert_eq!(guest.segment_id(), host.segment_id());
+        // Guest frees travel the credit ring, not the owner freelist.
+        drop(guest.alloc_from(&[1]).unwrap());
+        assert_eq!(host.credit_pending(), 1);
+        assert_eq!(host.stats().credit_returns, 1);
     }
 
     #[test]

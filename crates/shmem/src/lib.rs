@@ -3,9 +3,14 @@
 //! Process-local model of the host shared-memory machinery the paper's
 //! prototype uses to wire VMs to Open vSwitch and to each other:
 //!
-//! * [`mod@channel`] — a bidirectional pair of SPSC mbuf rings. One channel is
-//!   what a `dpdkr` port exposes (the *normal* channel to the vSwitch) and
-//!   what a bypass connection creates between two VMs.
+//! * [`mod@channel`] — a bidirectional pair of SPSC packet rings. One channel
+//!   is what a `dpdkr` port exposes (the *normal* channel to the vSwitch) and
+//!   what a bypass connection creates between two VMs. Arena-backed packets
+//!   ride the rings as offset descriptors (zero-copy hops); heap mbufs move
+//!   by value.
+//! * [`mod@doorbell`] — batched ring notifications (interrupt suppression):
+//!   one coalesced ring per burst instead of one per packet, with the
+//!   coalescing ratio exported through telemetry.
 //! * [`registry`] — the host's table of named shared-memory segments, so
 //!   tests and the compute agent can observe segment lifecycle (created on
 //!   bypass setup, released on teardown) exactly as hugepage segments are in
@@ -19,15 +24,17 @@
 //!   traffic.
 
 pub mod channel;
+pub mod doorbell;
 pub mod ivshmem;
 pub mod registry;
 pub mod serial;
 pub mod stats;
 
-pub use channel::{channel, ChannelEnd};
+pub use channel::{channel, ChannelEnd, ChannelEndStats, PktSlot, PktSlotKind};
+pub use doorbell::{Doorbell, DEFAULT_DOORBELL_COALESCE};
 pub use ivshmem::DeviceBoard;
 pub use ivshmem::IvshmemDevice;
-pub use registry::{SegmentKind, SegmentRecord, ShmRegistry};
+pub use registry::{SegmentKind, SegmentRecord, ShmRegistry, DEFAULT_ARENA_SLOTS};
 pub use serial::{serial_pair, SerialError, SerialPort};
 pub use stats::{CounterCell, PortDir, StatsRegion};
 

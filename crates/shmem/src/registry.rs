@@ -7,6 +7,7 @@
 //! *releases* it, and leaks are detectable.
 
 use crate::channel::{channel, ChannelEnd};
+use dpdk_sim::Arena;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,6 +22,8 @@ pub enum SegmentKind {
     Bypass,
     /// The shared statistics region.
     Stats,
+    /// The hugepage mbuf arena packets are allocated from.
+    Arena,
 }
 
 /// Registry record describing one live segment.
@@ -39,7 +42,15 @@ struct RegistryInner {
     segments: HashMap<String, SegmentRecord>,
     created: u64,
     released: u64,
+    /// Lazily created host-wide packet arena (see
+    /// [`ShmRegistry::hugepage_arena`]).
+    arena: Option<Arena>,
 }
+
+/// Slots in the host-wide hugepage arena. Sized well above the sum of all
+/// ring depths a test topology creates, so credit-return lag never starves
+/// generators.
+pub const DEFAULT_ARENA_SLOTS: usize = 16384;
 
 /// The host's shared-memory segment registry. Clone is cheap and shares
 /// state.
@@ -114,6 +125,32 @@ impl ShmRegistry {
         v
     }
 
+    /// The host-wide packet arena, created lazily on first use: one
+    /// hugepage segment every VM's ivshmem device maps, so descriptors are
+    /// valid end to end. Registered as a [`SegmentKind::Arena`] segment and
+    /// with the telemetry pool registry. Returns the owner mapping; guests
+    /// derive consumer mappings via [`Arena::consumer`].
+    pub fn hugepage_arena(&self) -> Arena {
+        let mut inner = self.inner.lock();
+        if let Some(arena) = &inner.arena {
+            return arena.clone();
+        }
+        let name = "hugepage-arena";
+        let arena = Arena::new(name, DEFAULT_ARENA_SLOTS, dpdk_sim::DEFAULT_BUF_SIZE);
+        telemetry::pools::register_arena(&arena);
+        telemetry::pools::install_event_bridge();
+        let record = SegmentRecord {
+            name: name.to_string(),
+            kind: SegmentKind::Arena,
+            depth: DEFAULT_ARENA_SLOTS,
+            created_seq: self.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        inner.segments.insert(name.to_string(), record);
+        inner.created += 1;
+        inner.arena = Some(arena.clone());
+        arena
+    }
+
     /// Number of live segments.
     pub fn live_count(&self) -> usize {
         self.inner.lock().segments.len()
@@ -177,5 +214,18 @@ mod tests {
         assert_eq!(bypass[0].name, "by0");
         assert_eq!(bypass[1].name, "by1");
         assert_eq!(reg.live_of_kind(SegmentKind::Stats).len(), 0);
+    }
+
+    #[test]
+    fn hugepage_arena_is_created_once_and_registered() {
+        let reg = ShmRegistry::new();
+        let a1 = reg.hugepage_arena();
+        let a2 = reg.hugepage_arena();
+        assert_eq!(a1.segment_id(), a2.segment_id(), "one segment per host");
+        assert_eq!(reg.live_of_kind(SegmentKind::Arena).len(), 1);
+        // Descriptors allocated through one clone adopt through the other.
+        let m = a1.alloc_from(&[3, 4]).unwrap();
+        let got = dpdk_sim::arena::adopt(m.into_desc()).unwrap();
+        assert_eq!(got.data(), &[3, 4]);
     }
 }

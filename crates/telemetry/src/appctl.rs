@@ -41,6 +41,32 @@ pub fn pmd_stats_show(snap: &TelemetrySnapshot) -> String {
     if snap.pmds.is_empty() {
         out.push_str("no pmd threads registered\n");
     }
+    for p in &snap.pools {
+        out.push_str(&format!("{} \"{}\":\n", p.kind.label(), p.name));
+        out.push_str(&format!(
+            "  capacity: {}  available: {}  in use: {}  high water: {}\n",
+            p.capacity, p.available, p.in_use, p.high_water
+        ));
+        out.push_str(&format!(
+            "  allocs: {}  alloc failures: {}  frees: {}  foreign frees: {}\n",
+            p.allocs, p.alloc_failures, p.frees, p.foreign_frees
+        ));
+        if p.kind == crate::pools::PoolKind::Arena {
+            out.push_str(&format!(
+                "  credit returns: {}  credits reclaimed: {}  cow copies: {}  slab writes: {}\n",
+                p.credit_returns, p.credits_reclaimed, p.cow_copies, p.slab_writes
+            ));
+        }
+    }
+    let d = &snap.doorbells;
+    if d.rings + d.suppressed > 0 {
+        out.push_str(&format!(
+            "doorbells: rings: {}  suppressed: {}  pkts/ring: {:.1}\n",
+            d.rings,
+            d.suppressed,
+            d.coalescing_ratio()
+        ));
+    }
     out
 }
 
@@ -259,6 +285,47 @@ pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
     for (name, v) in &snap.coverage {
         out.push_str(&format!("highway_coverage_total{{event=\"{name}\"}} {v}\n"));
     }
+
+    if !snap.pools.is_empty() {
+        out.push_str("# TYPE highway_pool_in_use gauge\n");
+        out.push_str("# TYPE highway_pool_high_water gauge\n");
+        out.push_str("# TYPE highway_pool_alloc_failures_total counter\n");
+        out.push_str("# TYPE highway_pool_foreign_frees_total counter\n");
+        out.push_str("# TYPE highway_pool_slab_writes_total counter\n");
+        for p in &snap.pools {
+            let labels = format!("pool=\"{}\",kind=\"{}\"", p.name, p.kind.label());
+            out.push_str(&format!("highway_pool_in_use{{{labels}}} {}\n", p.in_use));
+            out.push_str(&format!(
+                "highway_pool_high_water{{{labels}}} {}\n",
+                p.high_water
+            ));
+            out.push_str(&format!(
+                "highway_pool_alloc_failures_total{{{labels}}} {}\n",
+                p.alloc_failures
+            ));
+            out.push_str(&format!(
+                "highway_pool_foreign_frees_total{{{labels}}} {}\n",
+                p.foreign_frees
+            ));
+            out.push_str(&format!(
+                "highway_pool_slab_writes_total{{{labels}}} {}\n",
+                p.slab_writes
+            ));
+        }
+    }
+    let d = &snap.doorbells;
+    out.push_str("# TYPE highway_doorbell_rings_total counter\n");
+    out.push_str(&format!("highway_doorbell_rings_total {}\n", d.rings));
+    out.push_str("# TYPE highway_doorbell_suppressed_total counter\n");
+    out.push_str(&format!(
+        "highway_doorbell_suppressed_total {}\n",
+        d.suppressed
+    ));
+    out.push_str("# TYPE highway_doorbell_coalescing_ratio gauge\n");
+    out.push_str(&format!(
+        "highway_doorbell_coalescing_ratio {:.3}\n",
+        d.coalescing_ratio()
+    ));
     out
 }
 
@@ -312,6 +379,27 @@ mod tests {
             coverage,
             traces_retained: 0,
             trace_groups_observed: 2,
+            pools: vec![crate::pools::PoolStats {
+                name: "hw-arena".into(),
+                kind: crate::pools::PoolKind::Arena,
+                capacity: 32,
+                available: 30,
+                in_use: 2,
+                high_water: 7,
+                allocs: 40,
+                alloc_failures: 1,
+                frees: 20,
+                foreign_frees: 0,
+                credit_returns: 18,
+                credits_reclaimed: 16,
+                cow_copies: 0,
+                slab_writes: 41,
+            }],
+            doorbells: crate::pools::DoorbellTotals {
+                rings: 3,
+                notified_pkts: 96,
+                suppressed: 93,
+            },
         }
     }
 
@@ -322,6 +410,17 @@ mod tests {
         assert!(s.contains("emc hits: 32"));
         assert!(s.contains("miss: 1"));
         assert!(s.contains("processing cycles: 5000 (50.00%)"));
+    }
+
+    #[test]
+    fn stats_show_includes_pool_and_doorbell_sections() {
+        let s = pmd_stats_show(&snap());
+        assert!(s.contains("arena \"hw-arena\":"), "missing arena row:\n{s}");
+        assert!(s.contains("high water: 7"));
+        assert!(s.contains("foreign frees: 0"));
+        assert!(s.contains("credit returns: 18"));
+        assert!(s.contains("doorbells: rings: 3"));
+        assert!(s.contains("pkts/ring: 32.0"));
     }
 
     #[test]
@@ -348,6 +447,10 @@ mod tests {
         assert!(s.contains("highway_datapath_drops_total{reason=\"tx_no_port\"} 2"));
         assert!(s.contains("highway_stage_cycles{stage=\"classify\",quantile=\"0.99\"}"));
         assert!(s.contains("highway_coverage_total{event=\"emc_insert\"} 3"));
+        assert!(s.contains("highway_pool_high_water{pool=\"hw-arena\",kind=\"arena\"} 7"));
+        assert!(s.contains("highway_pool_alloc_failures_total{pool=\"hw-arena\",kind=\"arena\"} 1"));
+        assert!(s.contains("highway_doorbell_rings_total 3"));
+        assert!(s.contains("highway_doorbell_coalescing_ratio 32.000"));
         // Every non-comment line is "name{labels} value" or "name value".
         for line in s.lines().filter(|l| !l.starts_with('#')) {
             let parts: Vec<&str> = line.rsplitn(2, ' ').collect();

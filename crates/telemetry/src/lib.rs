@@ -11,6 +11,9 @@
 //!   merged exactly across PMDs for whole-datapath views.
 //! - [`TraceRing`] — 1-in-N sampled packet [`TraceSpan`]s with the full
 //!   stage path, ring-buffered for `trace/show`-style dumps.
+//! - [`pools`] — weak-registered mempool/arena rows (exhaustion, high
+//!   water, foreign frees, slab writes), process-wide doorbell coalescing
+//!   totals, and the `dpdk_sim::events` → coverage bridge.
 //! - [`TelemetrySnapshot`] — the structured point-in-time view behind the
 //!   [`appctl`] text renderings, the Prometheus exporter and the JSON
 //!   consumed by benches and the CI smoke test (parseable with [`json`]).
@@ -20,10 +23,12 @@ pub mod coverage;
 pub mod hist;
 pub mod json;
 pub mod pmd_perf;
+pub mod pools;
 pub mod snapshot;
 pub mod trace;
 
 pub use hist::LatencyHistogram;
 pub use pmd_perf::{PmdPerf, Stage, Tier};
+pub use pools::{DoorbellTotals, PoolKind, PoolStats};
 pub use snapshot::{DatapathTotals, HistSummary, TelemetrySnapshot};
 pub use trace::{TraceRing, TraceSpan, DEFAULT_TRACE_CAPACITY, DEFAULT_TRACE_SAMPLE};

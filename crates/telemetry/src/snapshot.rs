@@ -9,6 +9,7 @@
 
 use crate::hist::LatencyHistogram;
 use crate::pmd_perf::{PmdPerf, Stage, Tier};
+use crate::pools::{DoorbellTotals, PoolStats};
 use std::collections::BTreeMap;
 
 /// Percentile summary of one histogram.
@@ -78,6 +79,10 @@ pub struct TelemetrySnapshot {
     pub traces_retained: usize,
     /// Groups observed by the trace sampler (sampled or not).
     pub trace_groups_observed: u64,
+    /// One row per registered mempool/arena (see [`crate::pools`]).
+    pub pools: Vec<PoolStats>,
+    /// Process-wide doorbell coalescing totals.
+    pub doorbells: DoorbellTotals,
 }
 
 impl TelemetrySnapshot {
@@ -158,6 +163,42 @@ impl TelemetrySnapshot {
             out.push_str(&format!("\"{name}\":{v}"));
         }
         out.push_str("},");
+
+        out.push_str("\"pools\":[");
+        for (i, p) in self.pools.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"capacity\":{},\"available\":{},\
+                 \"in_use\":{},\"high_water\":{},\"allocs\":{},\"alloc_failures\":{},\
+                 \"frees\":{},\"foreign_frees\":{},\"credit_returns\":{},\
+                 \"credits_reclaimed\":{},\"cow_copies\":{},\"slab_writes\":{}}}",
+                p.name,
+                p.kind.label(),
+                p.capacity,
+                p.available,
+                p.in_use,
+                p.high_water,
+                p.allocs,
+                p.alloc_failures,
+                p.frees,
+                p.foreign_frees,
+                p.credit_returns,
+                p.credits_reclaimed,
+                p.cow_copies,
+                p.slab_writes,
+            ));
+        }
+        out.push_str("],");
+        out.push_str(&format!(
+            "\"doorbells\":{{\"rings\":{},\"notified_pkts\":{},\"suppressed\":{},\
+             \"coalescing_ratio\":{:.3}}},",
+            self.doorbells.rings,
+            self.doorbells.notified_pkts,
+            self.doorbells.suppressed,
+            self.doorbells.coalescing_ratio(),
+        ));
         out.push_str(&format!(
             "\"traces\":{{\"retained\":{},\"groups_observed\":{}}}",
             self.traces_retained, self.trace_groups_observed
@@ -247,6 +288,27 @@ mod tests {
             coverage,
             traces_retained: 1,
             trace_groups_observed: 10,
+            pools: vec![PoolStats {
+                name: "hw-arena".into(),
+                kind: crate::pools::PoolKind::Arena,
+                capacity: 64,
+                available: 60,
+                in_use: 4,
+                high_water: 9,
+                allocs: 100,
+                alloc_failures: 1,
+                frees: 50,
+                foreign_frees: 0,
+                credit_returns: 46,
+                credits_reclaimed: 40,
+                cow_copies: 2,
+                slab_writes: 102,
+            }],
+            doorbells: DoorbellTotals {
+                rings: 4,
+                notified_pkts: 128,
+                suppressed: 124,
+            },
         }
     }
 
@@ -284,6 +346,19 @@ mod tests {
                 .and_then(|c| c.get("emc_insert"))
                 .and_then(|x| x.as_u64()),
             Some(5)
+        );
+        let pools = v.get("pools").and_then(|p| p.as_array()).unwrap();
+        assert_eq!(pools.len(), 1);
+        assert_eq!(pools[0].get("high_water").and_then(|x| x.as_u64()), Some(9));
+        assert_eq!(
+            pools[0].get("credit_returns").and_then(|x| x.as_u64()),
+            Some(46)
+        );
+        assert_eq!(
+            v.get("doorbells")
+                .and_then(|d| d.get("notified_pkts"))
+                .and_then(|x| x.as_u64()),
+            Some(128)
         );
     }
 }

@@ -268,12 +268,19 @@ impl ComputeAgent {
 
         // Phase 1: segment + hot-plug into both VMs (only for a fresh
         // pair). A failed second plug unwinds the first.
-        if !pairs.contains_key(&key) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = pairs.entry(key) {
             let segment = format!("bypass-{}-{}", key.0, key.1);
             let (end_low, end_high) =
                 self.registry
                     .create_channel(&segment, SegmentKind::Bypass, DEFAULT_RING_DEPTH);
             let (low_vm, high_vm) = (self.vm_for(key.0)?, self.vm_for(key.1)?);
+            // Map the host packet arena into both VMs before the channel:
+            // descriptors must resolve the moment the bypass goes live.
+            // Idempotent per VM, and it survives pair teardown (the arena
+            // is host-wide, not per-bypass).
+            let arena = self.registry.hugepage_arena();
+            low_vm.plug_arena(&arena);
+            high_vm.plug_arena(&arena);
             if let Err(e) = self.plug(&low_vm, &segment, end_low) {
                 self.registry.release(&segment);
                 return Err(e);
@@ -283,14 +290,11 @@ impl ComputeAgent {
                 self.registry.release(&segment);
                 return Err(e);
             }
-            pairs.insert(
-                key,
-                PairState {
-                    segment,
-                    mapped: HashSet::new(),
-                    directions: HashSet::new(),
-                },
-            );
+            slot.insert(PairState {
+                segment,
+                mapped: HashSet::new(),
+                directions: HashSet::new(),
+            });
             created = true;
         }
         let segment = pairs.get(&key).expect("just ensured").segment.clone();

@@ -122,6 +122,17 @@ impl Vm {
         self.board.unplug(segment)
     }
 
+    /// Maps the host packet arena into this VM (QEMU mapping the hugepage
+    /// segment read-write). The guest PMD adopts it on the next bypass map.
+    pub fn plug_arena(&self, arena: &dpdk_sim::Arena) {
+        self.board.set_arena(arena);
+    }
+
+    /// True when the packet arena is mapped into this VM.
+    pub fn has_arena(&self) -> bool {
+        self.board.arena().is_some()
+    }
+
     /// Devices currently plugged (diagnostics/tests).
     pub fn plugged_devices(&self) -> Vec<String> {
         self.board.plugged()

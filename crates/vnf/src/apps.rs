@@ -53,9 +53,10 @@ impl VnfApp for L2Forwarder {
     }
 
     fn process(&mut self, pkt: &mut Mbuf, _in_port_idx: usize) -> Verdict {
-        if let Some(last) = pkt.data_mut().last_mut() {
-            *last = last.wrapping_add(0); // touch
-        }
+        // Read — don't write — the last payload byte: a real forwarder at
+        // least reads the frame, but a write would copy-on-write shared
+        // arena slots and take the packet off the zero-copy highway.
+        std::hint::black_box(pkt.data().last().copied());
         self.forwarded += 1;
         Verdict::Forward
     }
@@ -176,7 +177,7 @@ impl NetworkMonitor {
     /// The `n` heaviest flows by bytes, descending.
     pub fn top_flows(&self, n: usize) -> Vec<(FlowKey, (u64, u64))> {
         let mut v: Vec<_> = self.flows.iter().map(|(k, c)| (*k, *c)).collect();
-        v.sort_by(|a, b| b.1 .1.cmp(&a.1 .1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1 .1));
         v.truncate(n);
         v
     }

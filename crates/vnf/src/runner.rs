@@ -96,6 +96,12 @@ impl VnfRunner {
                 match self.board.map_segment(&segment) {
                     Some(end) => {
                         self.ports[idx].map_bypass(end);
+                        // The agent plugs the host packet arena alongside
+                        // the bypass device; adopt it so packets this port
+                        // originates travel as offset descriptors.
+                        if let Some(arena) = self.board.arena() {
+                            self.ports[idx].set_arena(arena);
+                        }
                         true
                     }
                     None => false,
@@ -300,6 +306,26 @@ mod tests {
         assert_eq!(end_b.recv().unwrap().len(), 64);
         assert!(h.sw1.recv().is_none(), "switch path must be bypassed");
         assert_eq!(h.stats.rule_totals(0xfeed), (1, 64));
+    }
+
+    #[test]
+    fn map_bypass_adopts_the_board_arena() {
+        let mut h = guest();
+        let host_arena = dpdk_sim::Arena::new("guest-arena", 8, 256);
+        h.board.set_arena(&host_arena);
+        let (end_a, _end_b) = channel("bypass-seg", 32);
+        h.board.plug(IvshmemDevice::new("bypass-seg", end_a));
+        assert!(h.runner.ports[1].arena().is_none());
+        h.host_ctrl
+            .send(PmdCtrl::MapBypass {
+                seq: 1,
+                of_port: 2,
+                segment: "bypass-seg".into(),
+            })
+            .unwrap();
+        h.runner.poll_once();
+        let mapped = h.runner.ports[1].arena().expect("arena installed");
+        assert_eq!(mapped.segment_id(), host_arena.segment_id());
     }
 
     #[test]

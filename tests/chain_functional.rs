@@ -168,6 +168,58 @@ fn bidirectional_traffic_both_modes() {
 }
 
 #[test]
+fn highway_chain_is_zero_copy_end_to_end() {
+    // The arena census proves the tentpole property: across an N-hop
+    // highway chain the payload bytes are written exactly once (the
+    // generator's ingress copy) — every hop after that moves descriptors.
+    const N: u64 = 300;
+    let mut w = deploy(3, true);
+    let arena = w.node.registry().hugepage_arena();
+    let base = arena.stats();
+    let base_in_use = arena.in_use();
+
+    for seq in 0..N {
+        let pkt = PacketBuilder::udp_probe(64).seq(seq).build();
+        let mut m = Mbuf::from_arena(arena.alloc_from(&pkt).expect("arena sized for the test"));
+        loop {
+            match w.entry.send(m) {
+                Ok(()) => break,
+                Err(ret) => {
+                    m = ret;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    let seqs = collect(&mut w.exit, N, Duration::from_secs(20));
+    assert_eq!(seqs.len() as u64, N, "no loss across the arena chain");
+    let unique: HashSet<_> = seqs.iter().collect();
+    assert_eq!(unique.len() as u64, N, "no duplication");
+
+    let stats = arena.stats();
+    assert_eq!(stats.allocs - base.allocs, N);
+    assert_eq!(
+        stats.slab_writes - base.slab_writes,
+        N,
+        "a hop wrote payload bytes: the chain is not zero-copy"
+    );
+    assert_eq!(stats.foreign_frees, 0, "every free went to its home arena");
+
+    // Teardown releases every slot the chain ever held.
+    let node = w.node;
+    drop(w.entry);
+    drop(w.exit);
+    node.stop();
+    for vm in &w.dep.vms {
+        vm.shutdown();
+    }
+    drop(w.dep);
+    drop(node);
+    arena.reclaim_credits();
+    assert_eq!(arena.in_use(), base_in_use, "arena slots leaked");
+}
+
+#[test]
 fn highway_bypass_segments_match_inner_seams() {
     let w = deploy(4, true);
     // 3 inner seams, one shared segment each (both directions).

@@ -217,6 +217,76 @@ fn failed_teardown_is_best_effort_and_recoverable() {
 }
 
 #[test]
+fn rolling_reconfiguration_leaks_no_arena_slots() {
+    // Arena leak census under churn: arena-backed traffic is in flight
+    // while the bypass link is repeatedly torn down (sometimes under an
+    // injected fault, like a rolling VNF upgrade gone wrong) and rebuilt.
+    // Whatever path each packet ends on — delivered, drained through the
+    // app at teardown, or dropped in a dying ring — its slot must come
+    // home to the arena.
+    let mut w = deploy_without_middle_rules();
+    let arena = w.node.registry().hugepage_arena();
+    install_middle_rule(&w, 0x9000);
+    assert!(w.node.wait_highway_converged(Duration::from_secs(15)));
+
+    let mut seq = 0u64;
+    for round in 0..3u64 {
+        // Load: a burst of arena-backed probes racing the reconfiguration.
+        for _ in 0..50 {
+            let pkt = PacketBuilder::udp_probe(64).seq(seq).build();
+            let mut m = Mbuf::from_arena(arena.alloc_from(&pkt).expect("arena sized for the test"));
+            loop {
+                match w.entry.send(m) {
+                    Ok(()) => break,
+                    Err(ret) => {
+                        m = ret;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            seq += 1;
+        }
+        // Odd rounds: the teardown's first serial step fails mid-flight.
+        if round % 2 == 1 {
+            w.node.agent().faults().arm(FaultOp::Serial, 1);
+        }
+        remove_middle_rule(&w);
+        assert!(w.node.wait_highway_converged(Duration::from_secs(15)));
+        install_middle_rule(&w, 0x9100 + round);
+        assert!(w.node.wait_highway_converged(Duration::from_secs(15)));
+    }
+
+    // Drain whatever made it through (loss across an unmap is allowed;
+    // leaks are not).
+    let quiet = Instant::now() + Duration::from_secs(3);
+    let mut delivered = 0u64;
+    while Instant::now() < quiet {
+        if w.exit.recv().is_some() {
+            delivered += 1;
+        } else {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    assert!(delivered > 0, "churn swallowed all traffic");
+
+    // Census: stop the node, drop every ring, reclaim credits — all
+    // slots home, no foreign frees.
+    let node = w.node;
+    drop(w.entry);
+    drop(w.exit);
+    node.stop();
+    for vm in &w.dep.vms {
+        vm.shutdown();
+    }
+    drop(w.dep);
+    drop(w.ctrl);
+    drop(node);
+    arena.reclaim_credits();
+    assert_eq!(arena.in_use(), 0, "arena slots leaked: {:?}", arena.stats());
+    assert_eq!(arena.stats().foreign_frees, 0);
+}
+
+#[test]
 fn repeated_failures_never_wedge_the_manager() {
     let mut w = deploy_without_middle_rules();
 
