@@ -6,20 +6,27 @@
 //! price the actual wire path (header marshal, 40-byte match, action
 //! TLVs), not a crossbeam channel.
 //!
+//! A fan-out sweep drives the same wire path through [`FabricRuntime`]:
+//! one controller, N switches, aggregate batched setup rate — the cost
+//! of multiplexing the fabric instead of a single session.
+//!
 //! Emits `BENCH_control_channel.json` for CI trend tracking; `--quick`
 //! bounds the message count. Exits non-zero if batching is not at least
 //! as fast as one-write-per-mod — the batching path exists to be cheaper,
 //! and a regression should fail loudly.
 
 use openflow::messages::{FlowMod, OfpMessage};
-use openflow::{framed_link, Action, Connection, FlowMatch, PortNo, SwitchLink};
+use openflow::{
+    framed_link, Action, Connection, FabricApp, FabricRuntime, FlowMatch, PortNo, SwitchFeatures,
+    SwitchLink,
+};
 use std::time::{Duration, Instant};
 
 const BATCH: usize = 64;
 
 /// The switch side: answer the handshake, echo requests and barriers;
 /// count flow mods. Returns when the controller hangs up.
-fn switch_loop(sw: SwitchLink) -> u64 {
+fn switch_loop(sw: SwitchLink, dpid: u64) -> u64 {
     let mut flow_mods = 0u64;
     loop {
         match sw.try_recv() {
@@ -27,7 +34,7 @@ fn switch_loop(sw: SwitchLink) -> u64 {
                 let reply = match msg {
                     OfpMessage::Hello => Some(OfpMessage::Hello),
                     OfpMessage::FeaturesRequest => Some(OfpMessage::FeaturesReply {
-                        datapath_id: 0xbe,
+                        datapath_id: dpid,
                         ports: vec![1, 2],
                     }),
                     OfpMessage::EchoRequest(d) => Some(OfpMessage::EchoReply(d)),
@@ -80,6 +87,55 @@ fn setup_rate(ctrl: &Connection, n: usize, batched: bool) -> f64 {
     n as f64 / start.elapsed().as_secs_f64()
 }
 
+/// One fabric runtime driving `n_switches` sessions: installs
+/// `total_mods` spread evenly, batched, with one barrier fence per
+/// switch; returns the aggregate mods/s across the fabric.
+fn fanout_rate(n_switches: usize, total_mods: usize) -> f64 {
+    struct NullApp;
+    impl FabricApp for NullApp {
+        fn on_switch_ready(&mut self, _d: u64, _c: &Connection, _f: &SwitchFeatures) {}
+        fn on_switch_message(&mut self, _d: u64, _c: &Connection, _m: OfpMessage, _x: u32) {}
+    }
+
+    let mut rt = FabricRuntime::new(NullApp);
+    let mut switches = Vec::with_capacity(n_switches);
+    for s in 0..n_switches {
+        let (ctrl, sw) = framed_link();
+        let dpid = 0x100 + s as u64;
+        switches.push(std::thread::spawn(move || switch_loop(sw, dpid)));
+        rt.add_switch(ctrl);
+    }
+    rt.run_until_ready(Duration::from_secs(5))
+        .expect("fabric ready");
+
+    let per_switch = total_mods / n_switches;
+    let work = mods(per_switch);
+    let start = Instant::now();
+    for dpid in rt.dpids() {
+        let conn = rt.connection(dpid).expect("announced switch");
+        for chunk in work.chunks(BATCH) {
+            conn.send_flow_mods(chunk).expect("batched send");
+        }
+    }
+    for dpid in rt.dpids() {
+        rt.connection(dpid)
+            .expect("announced switch")
+            .barrier(Duration::from_secs(30))
+            .expect("fan-out barrier");
+    }
+    let rate = (per_switch * n_switches) as f64 / start.elapsed().as_secs_f64();
+
+    drop(rt); // hang up; the switch threads return their tallies
+    for (s, t) in switches.into_iter().enumerate() {
+        let seen = t.join().expect("switch thread");
+        assert!(
+            seen >= per_switch as u64,
+            "switch {s} saw {seen} flow mods, expected {per_switch}"
+        );
+    }
+    rate
+}
+
 fn echo_rtt_us(ctrl: &Connection, probes: usize) -> f64 {
     let mut us: Vec<f64> = (0..probes)
         .map(|i| {
@@ -104,7 +160,7 @@ fn main() {
     let (n, probes) = if quick { (5_000, 200) } else { (50_000, 2_000) };
 
     let (ctrl, sw) = framed_link();
-    let switch = std::thread::spawn(move || switch_loop(sw));
+    let switch = std::thread::spawn(move || switch_loop(sw, 0xbe));
     ctrl.handshake(Duration::from_secs(5)).expect("handshake");
 
     // Interleave a warmup of each shape before timing either.
@@ -114,6 +170,13 @@ fn main() {
     let unbatched = setup_rate(&ctrl, n, false);
     let batched = setup_rate(&ctrl, n, true);
     let rtt_us = echo_rtt_us(&ctrl, probes);
+
+    // Fan-out sweep: the same batched wire path, multiplexed over N
+    // switch sessions by one FabricRuntime.
+    let fanout: Vec<(usize, f64)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&s| (s, fanout_rate(s, n)))
+        .collect();
 
     drop(ctrl);
     let seen = switch.join().expect("switch thread");
@@ -134,12 +197,25 @@ fn main() {
     println!("\nbatching speedup: {:.2}x", batched / unbatched);
     println!("echo RTT p50: {rtt_us:.1} us");
 
+    println!("\n## Fan-out — aggregate batched setup rate, one controller, N switches\n");
+    println!("| switches | aggregate mods/s |");
+    println!("|---|---|");
+    for (s, rate) in &fanout {
+        println!("| {s} | {rate:.0} |");
+    }
+
+    let fanout_json = fanout
+        .iter()
+        .map(|(s, rate)| format!("    {{ \"switches\": {s}, \"mods_per_sec\": {rate:.0} }}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"control_channel\",\n  \"quick\": {quick},\n  \
          \"messages\": {n},\n  \"batch_size\": {BATCH},\n  \
          \"unbatched_mods_per_sec\": {unbatched:.0},\n  \
          \"batched_mods_per_sec\": {batched:.0},\n  \
-         \"echo_rtt_us_p50\": {rtt_us:.2}\n}}\n"
+         \"echo_rtt_us_p50\": {rtt_us:.2},\n  \
+         \"fanout\": [\n{fanout_json}\n  ]\n}}\n"
     );
     std::fs::write("BENCH_control_channel.json", json).expect("write BENCH_control_channel.json");
     println!("\nwrote BENCH_control_channel.json");

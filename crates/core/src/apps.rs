@@ -8,8 +8,10 @@
 //! either.
 
 use openflow::{
-    Action, Connection, ControllerApp, FlowMatch, FlowMod, OfpMessage, PortNo, SwitchFeatures,
+    Action, Connection, ControllerApp, FabricApp, FlowMatch, FlowMod, OfpMessage, PortNo,
+    SwitchFeatures,
 };
+use std::collections::HashMap;
 
 /// One steering seam of a service chain: everything entering `from` is
 /// forwarded out of `to`, tagged with `cookie` for later stats lookups.
@@ -122,6 +124,75 @@ impl ControllerApp for ChainSteering {
             }
             OfpMessage::PacketIn(_) => self.packet_ins += 1,
             _ => {}
+        }
+    }
+}
+
+/// [`ChainSteering`] generalised to a fabric: one steering rule set per
+/// switch, keyed by datapath id, installed through a single
+/// [`openflow::FabricRuntime`]. A VNF chain spanning several hosts is
+/// expressed as per-switch seam lists — intra-host seams between VM
+/// ports, inter-host hops via the trunk ports wiring the switches
+/// together — and this app makes each switch converge independently
+/// (batched install + async barrier fence, per switch).
+pub struct FabricChainSteering {
+    per_switch: HashMap<u64, ChainSteering>,
+    /// `FlowRemoved` notifications seen, per cookie — the exactly-once
+    /// canary the failover tests read (replay must never trigger one).
+    flow_removed: HashMap<u64, u64>,
+}
+
+impl FabricChainSteering {
+    /// A steering app for per-switch seam lists keyed by datapath id.
+    pub fn new(seams_by_dpid: HashMap<u64, Vec<Seam>>) -> FabricChainSteering {
+        FabricChainSteering {
+            per_switch: seams_by_dpid
+                .into_iter()
+                .map(|(dpid, seams)| (dpid, ChainSteering::new(seams)))
+                .collect(),
+            flow_removed: HashMap::new(),
+        }
+    }
+
+    /// True once every switch has barrier-acknowledged its rule set.
+    pub fn settled(&self) -> bool {
+        self.per_switch.values().all(ChainSteering::settled)
+    }
+
+    /// Whether the switch `dpid` has settled its rules.
+    pub fn switch_settled(&self, dpid: u64) -> bool {
+        self.per_switch
+            .get(&dpid)
+            .is_some_and(ChainSteering::settled)
+    }
+
+    /// Total packet-ins across the fabric (should stay 0 once settled).
+    pub fn packet_ins(&self) -> u64 {
+        self.per_switch
+            .values()
+            .map(ChainSteering::packet_ins)
+            .sum()
+    }
+
+    /// `FlowRemoved` tallies per cookie, across every switch.
+    pub fn flow_removed(&self) -> &HashMap<u64, u64> {
+        &self.flow_removed
+    }
+}
+
+impl FabricApp for FabricChainSteering {
+    fn on_switch_ready(&mut self, dpid: u64, conn: &Connection, features: &SwitchFeatures) {
+        if let Some(app) = self.per_switch.get_mut(&dpid) {
+            app.on_connected(conn, features);
+        }
+    }
+
+    fn on_switch_message(&mut self, dpid: u64, conn: &Connection, msg: OfpMessage, xid: u32) {
+        if let OfpMessage::FlowRemoved(fr) = &msg {
+            *self.flow_removed.entry(fr.cookie).or_insert(0) += 1;
+        }
+        if let Some(app) = self.per_switch.get_mut(&dpid) {
+            app.on_message(conn, msg, xid);
         }
     }
 }

@@ -21,6 +21,10 @@
 //!   registry + compute agent + orchestrator + highway, with a single
 //!   switch to run the same deployment in *vanilla* mode (the evaluation
 //!   baseline) or *highway* mode.
+//! * [`fabric`] — [`fabric::Fabric`], N highway nodes with unique
+//!   datapath ids wired by simulated inter-host trunks, plus cross-host
+//!   chain placement; one [`openflow::FabricRuntime`] controller drives
+//!   them all over the framed control channel.
 //! * [`policy`] — the [`policy::AccelerationPolicy`]: which detected links
 //!   may be accelerated (port exclusions) and when (setup debounce against
 //!   controller rule flapping).
@@ -31,14 +35,16 @@
 pub mod apps;
 pub mod detector;
 pub mod events;
+pub mod fabric;
 pub mod manager;
 pub mod node;
 pub mod policy;
 pub mod stats;
 
-pub use apps::{ChainSteering, Seam};
+pub use apps::{ChainSteering, FabricChainSteering, Seam};
 pub use detector::{detect_p2p_links, P2pLink};
 pub use events::{BypassEvent, BypassEventKind, EventJournal};
+pub use fabric::{Fabric, FabricChain, Trunk};
 pub use manager::{HighwayManager, LinkState, SetupRecord};
 pub use node::{HighwayNode, HighwayNodeConfig};
 pub use policy::AccelerationPolicy;

@@ -162,6 +162,14 @@ impl HighwayNode {
         conn
     }
 
+    /// Opens a loopback TCP listener for controllers; every accepted
+    /// connection is attached to the switch as its control channel (a new
+    /// connection replaces the old link — how a standby controller takes
+    /// over after failover). Returns the bound address.
+    pub fn listen_controller(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.switch.listen_controller()
+    }
+
     /// Re-attaches a controller connection after its transport died (a
     /// controller restart): a fresh in-process stream replaces the dead
     /// one on both sides, the connection re-handshakes and replays any

@@ -5,7 +5,7 @@
 //! so the only representation of a packet that survives the BAR crossing is
 //! `(segment_id, offset, length)`. This module models exactly that:
 //!
-//! * [`ArenaSegment`] (internal) — one contiguous slab carved into
+//! * `ArenaSegment` (internal) — one contiguous slab carved into
 //!   fixed-size slots, with a lock-free freelist of slot indices, one
 //!   refcount per slot for multi-reader handoff, and a **credit-return
 //!   ring**: consumers that finish with a buffer push its slot index onto

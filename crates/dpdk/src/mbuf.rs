@@ -191,7 +191,7 @@ impl Mbuf {
     }
 
     /// Mutable packet bytes. On a shared arena slot this copies-on-write
-    /// first (see [`Mbuf::raw_mut`]'s helper), so writers never alias
+    /// first (see `Mbuf::raw_mut`'s helper), so writers never alias
     /// readers.
     pub fn data_mut(&mut self) -> &mut [u8] {
         let (off, len) = (self.data_off, self.data_len);

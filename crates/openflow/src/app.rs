@@ -8,14 +8,22 @@
 //! controller-agnostic: the built-in highway steering controller and the
 //! [`LearningSwitch`] ported from `rust_ofp` run over byte-identical
 //! streams through exactly this interface.
+//!
+//! [`FabricRuntime`] is the multi-switch generalisation: one event loop
+//! multiplexing N live connections with a per-switch datapath-id
+//! registry, fair round-robin polling (a chatty switch cannot starve the
+//! rest), per-switch barrier/replay state (each [`Connection`] already
+//! owns its own), and optional replication to a standby peer via
+//! [`crate::failover::ActivePeer`].
 
 use crate::connection::{Connection, ConnectionState, SwitchFeatures};
+use crate::failover::ActivePeer;
 use crate::messages::{FlowMod, OfpMessage, PacketIn};
 use crate::types::PortNo;
-use crate::{Action, FlowMatch, Result};
+use crate::{Action, FlowMatch, OfError, Result};
 use packet_wire::{EthernetFrame, MacAddr};
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A controller application: policy over a [`Connection`].
 pub trait ControllerApp: Send {
@@ -88,6 +96,229 @@ impl<A: ControllerApp> ControllerRuntime<A> {
     pub fn reconnect(&mut self, transport: Box<dyn crate::transport::Transport>) {
         self.conn.reconnect(transport);
         self.announced = false;
+    }
+}
+
+/// A controller application over a whole fabric of switches: the same
+/// role as [`ControllerApp`], with the switch's datapath id threaded
+/// through every callback so policy can differ per switch.
+pub trait FabricApp: Send {
+    /// Called once per switch per completed handshake (including after a
+    /// reconnect or takeover).
+    fn on_switch_ready(&mut self, dpid: u64, conn: &Connection, features: &SwitchFeatures);
+
+    /// Called for every asynchronous or unclaimed message from `dpid`.
+    fn on_switch_message(&mut self, dpid: u64, conn: &Connection, msg: OfpMessage, xid: u32);
+
+    /// Called once when a switch's connection dies (transport error or
+    /// keepalive). The session stays registered; a reconnect re-announces.
+    fn on_switch_down(&mut self, _dpid: u64) {}
+}
+
+struct FabricSession {
+    conn: Connection,
+    /// Set at announce time, from the switch's `FeaturesReply`.
+    dpid: Option<u64>,
+    /// Whether `on_switch_down` has fired for the current disconnect.
+    down_reported: bool,
+}
+
+/// Drives one [`FabricApp`] over N live [`Connection`]s.
+///
+/// * **datapath-id registry** — switches announce themselves through the
+///   handshake's `FeaturesReply`; [`FabricRuntime::connection`] resolves
+///   a dpid to its live connection.
+/// * **fair polling** — each [`FabricRuntime::poll`] round visits every
+///   switch starting from a rotating cursor and delivers at most
+///   [`FabricRuntime::MAX_PER_SWITCH`] messages per switch, so one busy
+///   switch cannot starve the others.
+/// * **per-switch barrier/replay state** — each [`Connection`] carries
+///   its own replay log and barrier marks; nothing is shared.
+/// * **failover replication** — with [`FabricRuntime::with_peer`], every
+///   switch's replay log is mirrored to the standby the moment the
+///   switch is announced, and heartbeats ride the poll loop.
+pub struct FabricRuntime<A: FabricApp> {
+    switches: Vec<FabricSession>,
+    by_dpid: HashMap<u64, usize>,
+    app: A,
+    cursor: usize,
+    peer: Option<ActivePeer>,
+}
+
+impl<A: FabricApp> FabricRuntime<A> {
+    /// Fairness bound: messages delivered per switch per poll round.
+    pub const MAX_PER_SWITCH: usize = 16;
+
+    /// A fabric runtime with no standby replication.
+    pub fn new(app: A) -> FabricRuntime<A> {
+        FabricRuntime {
+            switches: Vec::new(),
+            by_dpid: HashMap::new(),
+            app,
+            cursor: 0,
+            peer: None,
+        }
+    }
+
+    /// A fabric runtime that replicates every switch's replay log to a
+    /// standby controller (see [`crate::failover`]).
+    pub fn with_peer(app: A, peer: ActivePeer) -> FabricRuntime<A> {
+        FabricRuntime {
+            peer: Some(peer),
+            ..FabricRuntime::new(app)
+        }
+    }
+
+    /// Adds a switch connection (handshake may still be in flight — a
+    /// fresh [`Connection`] works, and so does an already-ready one
+    /// adopted from [`crate::failover::StandbyController::take_over`]).
+    /// Returns the session index.
+    pub fn add_switch(&mut self, conn: Connection) -> usize {
+        self.switches.push(FabricSession {
+            conn,
+            dpid: None,
+            down_reported: false,
+        });
+        self.switches.len() - 1
+    }
+
+    /// Number of registered switch sessions.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Datapath ids of every announced switch, sorted.
+    pub fn dpids(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.by_dpid.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The live connection for `dpid`, if that switch has announced.
+    pub fn connection(&self, dpid: u64) -> Option<&Connection> {
+        self.by_dpid.get(&dpid).map(|&i| &self.switches[i].conn)
+    }
+
+    /// The application, for inspecting its state.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable access to the application.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// One fair scheduling round over every switch; returns the number of
+    /// messages delivered to the app.
+    pub fn poll(&mut self) -> usize {
+        if let Some(peer) = &self.peer {
+            peer.maybe_heartbeat();
+        }
+        let n = self.switches.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut delivered = 0;
+        for off in 0..n {
+            let i = (self.cursor + off) % n;
+            delivered += self.poll_one(i);
+        }
+        self.cursor = (self.cursor + 1) % n;
+        delivered
+    }
+
+    fn poll_one(&mut self, i: usize) -> usize {
+        if self.switches[i].dpid.is_none() {
+            // Advance the handshake without consuming the inbox — async
+            // messages that race the announce stay queued for delivery
+            // right after it.
+            let _ = self.switches[i].conn.poll_io();
+            if self.switches[i].conn.state() == ConnectionState::Ready {
+                let features = self.switches[i]
+                    .conn
+                    .features()
+                    .expect("Ready implies features");
+                let dpid = features.datapath_id;
+                self.by_dpid.insert(dpid, i);
+                self.switches[i].dpid = Some(dpid);
+                self.switches[i].down_reported = false;
+                if let Some(peer) = &self.peer {
+                    // Replication must be live before the app's first flow
+                    // mod, which on_switch_ready typically sends.
+                    peer.announce_switch(dpid);
+                    self.switches[i]
+                        .conn
+                        .set_replay_observer(peer.sink_for(dpid));
+                }
+                let session = &self.switches[i];
+                self.app.on_switch_ready(dpid, &session.conn, &features);
+            }
+        }
+        let mut delivered = 0;
+        if self.switches[i].dpid.is_some() {
+            while delivered < Self::MAX_PER_SWITCH {
+                let Some(res) = self.switches[i].conn.try_recv() else {
+                    break;
+                };
+                let Ok((msg, xid)) = res else { break };
+                let dpid = self.switches[i].dpid.expect("checked above");
+                self.app
+                    .on_switch_message(dpid, &self.switches[i].conn, msg, xid);
+                delivered += 1;
+            }
+        }
+        if self.switches[i].conn.state() == ConnectionState::Disconnected
+            && !self.switches[i].down_reported
+        {
+            self.switches[i].down_reported = true;
+            if let Some(dpid) = self.switches[i].dpid {
+                self.app.on_switch_down(dpid);
+            }
+        }
+        delivered
+    }
+
+    /// Polls until every registered switch has completed its handshake
+    /// and been announced to the app. Fails if any switch disconnects
+    /// first or `timeout` passes.
+    pub fn run_until_ready(&mut self, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.poll();
+            if self.switches.iter().all(|s| s.dpid.is_some()) {
+                return Ok(());
+            }
+            if self
+                .switches
+                .iter()
+                .any(|s| s.conn.state() == ConnectionState::Disconnected)
+            {
+                return Err(OfError::Disconnected);
+            }
+            if Instant::now() >= deadline {
+                return Err(OfError::Disconnected);
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    /// Moves one switch's session to a fresh transport (switch restart or
+    /// network blip): the connection re-handshakes, replays un-barriered
+    /// flow mods, and the app is re-announced on a later poll.
+    pub fn reconnect(
+        &mut self,
+        dpid: u64,
+        transport: Box<dyn crate::transport::Transport>,
+    ) -> bool {
+        let Some(&i) = self.by_dpid.get(&dpid) else {
+            return false;
+        };
+        self.switches[i].conn.reconnect(transport);
+        self.switches[i].dpid = None;
+        self.switches[i].down_reported = false;
+        self.by_dpid.remove(&dpid);
+        true
     }
 }
 
@@ -268,6 +499,119 @@ mod tests {
             OfpMessage::PacketOut(po) if po.actions == vec![Action::Output(PortNo(1))]
         )));
         assert_eq!(rt.app().flows_installed(), 2);
+    }
+
+    /// Answers handshake traffic with a chosen dpid and counts flow mods.
+    fn answer_switch(sw: &SwitchLink, dpid: u64) -> Vec<(OfpMessage, u32)> {
+        let mut unhandled = Vec::new();
+        while let Some(Ok((msg, xid))) = sw.try_recv() {
+            match msg {
+                OfpMessage::Hello => sw.send(&OfpMessage::Hello, xid).unwrap(),
+                OfpMessage::FeaturesRequest => sw
+                    .send(
+                        &OfpMessage::FeaturesReply {
+                            datapath_id: dpid,
+                            ports: vec![1],
+                        },
+                        xid,
+                    )
+                    .unwrap(),
+                OfpMessage::EchoRequest(d) => sw.send(&OfpMessage::EchoReply(d), xid).unwrap(),
+                OfpMessage::BarrierRequest => sw.send(&OfpMessage::BarrierReply, xid).unwrap(),
+                other => unhandled.push((other, xid)),
+            }
+        }
+        unhandled
+    }
+
+    #[derive(Default)]
+    struct FabricProbe {
+        ready: Vec<u64>,
+        messages: Vec<(u64, u32)>,
+        downs: Vec<u64>,
+    }
+
+    impl FabricApp for FabricProbe {
+        fn on_switch_ready(&mut self, dpid: u64, _c: &Connection, f: &SwitchFeatures) {
+            assert_eq!(dpid, f.datapath_id);
+            self.ready.push(dpid);
+        }
+        fn on_switch_message(&mut self, dpid: u64, _c: &Connection, _m: OfpMessage, xid: u32) {
+            self.messages.push((dpid, xid));
+        }
+        fn on_switch_down(&mut self, dpid: u64) {
+            self.downs.push(dpid);
+        }
+    }
+
+    #[test]
+    fn fabric_runtime_registers_and_dispatches_per_dpid() {
+        let (c1, sw1) = framed_link();
+        let (c2, sw2) = framed_link();
+        let mut rt = FabricRuntime::new(FabricProbe::default());
+        rt.add_switch(c1);
+        rt.add_switch(c2);
+        answer_switch(&sw1, 0xa1);
+        answer_switch(&sw2, 0xb2);
+        rt.run_until_ready(Duration::from_secs(2)).unwrap();
+        assert_eq!(rt.dpids(), vec![0xa1, 0xb2]);
+        assert_eq!(rt.app().ready, vec![0xa1, 0xb2]);
+
+        // Messages route to the app tagged with the right dpid.
+        sw2.send(&OfpMessage::EchoReply(vec![1]), 7001).unwrap();
+        sw1.send(&OfpMessage::EchoReply(vec![2]), 7002).unwrap();
+        rt.poll();
+        let mut got = rt.app().messages.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0xa1, 7002), (0xb2, 7001)]);
+
+        // Per-dpid connection lookup drives the right switch.
+        rt.connection(0xb2)
+            .unwrap()
+            .send(&OfpMessage::EchoRequest(vec![9]))
+            .unwrap();
+        assert_eq!(answer_switch(&sw1, 0xa1).len(), 0);
+        drop(sw2); // also: the down event fires exactly once
+        let deadline = std::time::Instant::now() + Duration::from_secs(1);
+        while rt.app().downs.is_empty() && std::time::Instant::now() < deadline {
+            rt.poll();
+        }
+        assert_eq!(rt.app().downs, vec![0xb2]);
+        rt.poll();
+        assert_eq!(rt.app().downs, vec![0xb2], "down reported once");
+    }
+
+    #[test]
+    fn fabric_polling_is_fair_under_one_chatty_switch() {
+        let (c1, sw1) = framed_link();
+        let (c2, sw2) = framed_link();
+        let mut rt = FabricRuntime::new(FabricProbe::default());
+        rt.add_switch(c1);
+        rt.add_switch(c2);
+        answer_switch(&sw1, 0xa1);
+        answer_switch(&sw2, 0xb2);
+        rt.run_until_ready(Duration::from_secs(2)).unwrap();
+
+        // Switch a1 floods 200 messages; b2 sends one. One poll round may
+        // deliver at most MAX_PER_SWITCH from the flooder, and b2's
+        // message must be in the same round — not behind the flood.
+        for i in 0..200u32 {
+            sw1.send(&OfpMessage::EchoReply(vec![0]), 10_000 + i)
+                .unwrap();
+        }
+        sw2.send(&OfpMessage::EchoReply(vec![1]), 42).unwrap();
+        let delivered = rt.poll();
+        assert!(
+            delivered <= 2 * FabricRuntime::<FabricProbe>::MAX_PER_SWITCH,
+            "round bounded per switch"
+        );
+        assert!(
+            rt.app()
+                .messages
+                .iter()
+                .any(|(d, x)| (*d, *x) == (0xb2, 42)),
+            "the quiet switch was served in the same round"
+        );
     }
 
     #[test]

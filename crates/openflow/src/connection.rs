@@ -31,8 +31,24 @@ use crate::types::PortNo;
 use crate::{Action, FlowMatch, OfError, Result};
 use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Observes replay-log transitions on a [`Connection`] — the hook the
+/// active/standby replication in [`crate::failover`] attaches so a peer
+/// controller mirrors the un-barriered flow mods in real time.
+///
+/// Callbacks run with the connection's internal locks held: an observer
+/// must never call back into the same `Connection` (writing to an
+/// unrelated transport, as the replication sink does, is fine).
+pub trait ReplayObserver: Send + Sync {
+    /// `fm` was appended to the replay log as entry `seq`.
+    fn logged(&self, seq: u64, fm: &FlowMod);
+
+    /// A barrier reply retired every log entry with `seq <= acked_seq`.
+    fn retired(&self, acked_seq: u64);
+}
 
 /// Where the session stands in the OF 1.0 connection setup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +115,11 @@ pub struct Connection {
     next_xid: AtomicU32,
     keepalive_interval: Duration,
     keepalive_timeout: Duration,
+    /// Callers currently blocked in [`Connection::wait_reply`]; while any
+    /// are, the keepalive neither probes nor times out (see `keepalive`).
+    waiters: AtomicUsize,
+    /// Replication hook for active/standby failover (see [`ReplayObserver`]).
+    observer: Mutex<Option<Arc<dyn ReplayObserver>>>,
 }
 
 impl Connection {
@@ -123,6 +144,8 @@ impl Connection {
             next_xid: AtomicU32::new(1),
             keepalive_interval: Duration::from_secs(5),
             keepalive_timeout: Duration::from_secs(15),
+            waiters: AtomicUsize::new(0),
+            observer: Mutex::new(None),
         };
         let hello_xid = conn.xid();
         let features_xid = conn.xid();
@@ -161,6 +184,13 @@ impl Connection {
     /// [`Connection::reconnect`]).
     pub fn unacked_flow_mods(&self) -> usize {
         self.replay.lock().pending.len()
+    }
+
+    /// Attaches a [`ReplayObserver`] that mirrors replay-log transitions —
+    /// every logged flow mod and every barrier retirement — from now on.
+    /// One observer at a time; setting replaces the previous one.
+    pub fn set_replay_observer(&self, observer: Arc<dyn ReplayObserver>) {
+        *self.observer.lock() = Some(observer);
     }
 
     /// Drives the handshake until [`ConnectionState::Ready`] or `timeout`.
@@ -229,6 +259,7 @@ impl Connection {
     pub fn send(&self, msg: &OfpMessage) -> Result<u32> {
         let xid = self.xid();
         let mut io = self.io.lock();
+        let mut logged = None;
         {
             let mut replay = self.replay.lock();
             match msg {
@@ -236,12 +267,20 @@ impl Connection {
                     replay.seq += 1;
                     let seq = replay.seq;
                     replay.pending.push_back((seq, fm.clone()));
+                    logged = Some(seq);
                 }
                 OfpMessage::BarrierRequest => {
                     let seq = replay.seq;
                     replay.marks.push((xid, seq));
                 }
                 _ => {}
+            }
+        }
+        if let (Some(seq), OfpMessage::FlowMod(fm)) = (logged, msg) {
+            // Replicate before the wire write: a crash between the two
+            // loses nothing the standby cannot replay.
+            if let Some(obs) = self.observer.lock().clone() {
+                obs.logged(seq, fm);
             }
         }
         write_bytes(&mut io, &encode(msg, xid))?;
@@ -252,13 +291,20 @@ impl Connection {
     pub fn send_flow_mods(&self, mods: &[FlowMod]) -> Result<()> {
         let mut io = self.io.lock();
         let mut bytes = Vec::with_capacity(mods.len() * 80);
+        let first_seq;
         {
             let mut replay = self.replay.lock();
+            first_seq = replay.seq + 1;
             for fm in mods {
                 replay.seq += 1;
                 let seq = replay.seq;
                 replay.pending.push_back((seq, fm.clone()));
                 bytes.extend(encode(&OfpMessage::FlowMod(fm.clone()), self.xid()));
+            }
+        }
+        if let Some(obs) = self.observer.lock().clone() {
+            for (i, fm) in mods.iter().enumerate() {
+                obs.logged(first_seq + i as u64, fm);
             }
         }
         write_bytes(&mut io, &bytes)
@@ -304,6 +350,19 @@ impl Connection {
         if io.state != ConnectionState::Ready {
             return Ok(());
         }
+        if self.waiters.load(Ordering::Acquire) > 0 {
+            // Someone is blocked in `wait_reply` with a deadline of their
+            // own. A switch that is slow to answer is not a dead switch:
+            // time spent blocked must not count toward dead-peer
+            // detection, so the probe clock is pushed forward instead of
+            // read. (Real disconnects still surface immediately via the
+            // transport errors `pump` observes.)
+            if io.echo_sent.is_some() {
+                io.echo_sent = Some(Instant::now());
+            }
+            io.last_io = Instant::now();
+            return Ok(());
+        }
         if let Some(sent) = io.echo_sent {
             if sent.elapsed() >= self.keepalive_timeout {
                 return fail(io, OfError::Disconnected);
@@ -339,20 +398,36 @@ impl Connection {
                 io.echo_sent = None;
             }
             OfpMessage::BarrierReply => {
+                let mut retired = None;
                 let internal = {
                     let mut replay = self.replay.lock();
                     if let Some(pos) = replay.marks.iter().position(|(x, _)| *x == xid) {
                         let (_, acked_seq) = replay.marks.remove(pos);
                         replay.pending.retain(|(seq, _)| *seq > acked_seq);
+                        retired = Some(acked_seq);
                     }
                     replay.internal_barriers.remove(&xid)
                 };
+                if let Some(acked_seq) = retired {
+                    if let Some(obs) = self.observer.lock().clone() {
+                        obs.retired(acked_seq);
+                    }
+                }
                 if !internal {
                     self.inbox.lock().push_back((OfpMessage::BarrierReply, xid));
                 }
             }
             other => self.inbox.lock().push_back((other, xid)),
         }
+    }
+
+    /// Advances the session's I/O without consuming the inbox: flushes
+    /// buffered writes, reads the transport, processes handshake and
+    /// keepalive traffic. The fabric runtime uses this to drive a
+    /// not-yet-announced switch's handshake while leaving queued
+    /// asynchronous messages for delivery after the announce.
+    pub fn poll_io(&self) -> Result<()> {
+        self.pump()
     }
 
     /// Non-blocking receive of asynchronous messages (packet-in etc.).
@@ -365,7 +440,13 @@ impl Connection {
     }
 
     /// Waits for the reply carrying `xid`, stashing unrelated messages.
+    ///
+    /// Time spent blocked here does not count toward the echo keepalive's
+    /// dead-peer detection — this call has its own `timeout`, and a slow
+    /// switch that does eventually answer must not be declared dead under
+    /// the caller.
     pub fn wait_reply(&self, xid: u32, timeout: Duration) -> Result<OfpMessage> {
+        let _guard = WaiterGuard::enter(&self.waiters);
         let deadline = Instant::now() + timeout;
         loop {
             let pump_err = self.pump().err();
@@ -501,6 +582,23 @@ impl Connection {
             }
         });
         out
+    }
+}
+
+/// RAII count of callers blocked in `wait_reply` (decremented on every
+/// exit path, including panics and early returns).
+struct WaiterGuard<'a>(&'a AtomicUsize);
+
+impl<'a> WaiterGuard<'a> {
+    fn enter(counter: &'a AtomicUsize) -> WaiterGuard<'a> {
+        counter.fetch_add(1, Ordering::AcqRel);
+        WaiterGuard(counter)
+    }
+}
+
+impl Drop for WaiterGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -678,6 +776,96 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         let _ = conn.try_recv(); // probe unanswered past the timeout
         assert_eq!(conn.state(), ConnectionState::Disconnected);
+    }
+
+    /// Regression: a caller blocked in `wait_reply` must not have its
+    /// blocked time counted toward dead-peer detection. Before the fix, a
+    /// switch that took longer than `keepalive_timeout` to answer (slow
+    /// TCP loopback in CI) was declared dead *under* the waiting caller
+    /// even though it did reply within the caller's own deadline.
+    #[test]
+    fn slow_reply_does_not_trip_keepalive_under_wait_reply() {
+        let (c, s) = loopback();
+        let mut conn = Connection::new(Box::new(c));
+        let sw = SwitchLink::new(Box::new(s));
+        conn.set_keepalive(Duration::from_millis(1), Duration::from_millis(20));
+        pump_switch(&sw);
+        conn.handshake(Duration::from_secs(1)).unwrap();
+
+        // Let the idle interval pass so a probe is already outstanding
+        // when the slow request begins — the worst case for the old code.
+        std::thread::sleep(Duration::from_millis(5));
+        let _ = conn.try_recv();
+
+        // The switch answers everything — but only after 100 ms, five
+        // times the keepalive timeout.
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            pump_switch(&sw);
+            sw
+        });
+        conn.barrier(Duration::from_secs(2))
+            .expect("slow barrier must complete, not die to the keepalive");
+        assert_eq!(conn.state(), ConnectionState::Ready);
+        let sw = t.join().unwrap();
+
+        // With no waiter blocked, the keepalive is live again: silence
+        // past interval+timeout still kills the connection.
+        drop(sw);
+        std::thread::sleep(Duration::from_millis(5));
+        let _ = conn.try_recv(); // probe (or transport error) fires
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while conn.state() != ConnectionState::Disconnected && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+            let _ = conn.try_recv();
+        }
+        assert_eq!(conn.state(), ConnectionState::Disconnected);
+    }
+
+    #[test]
+    fn replay_observer_sees_logged_and_retired() {
+        use std::sync::Mutex as StdMutex;
+        #[derive(Default)]
+        struct Recorder {
+            logged: StdMutex<Vec<(u64, u64)>>, // (seq, cookie)
+            retired: StdMutex<Vec<u64>>,
+        }
+        impl ReplayObserver for Recorder {
+            fn logged(&self, seq: u64, fm: &FlowMod) {
+                self.logged.lock().unwrap().push((seq, fm.cookie));
+            }
+            fn retired(&self, acked_seq: u64) {
+                self.retired.lock().unwrap().push(acked_seq);
+            }
+        }
+
+        let (conn, sw) = connected();
+        pump_switch(&sw);
+        conn.handshake(Duration::from_secs(1)).unwrap();
+        let rec = Arc::new(Recorder::default());
+        conn.set_replay_observer(Arc::clone(&rec) as Arc<dyn ReplayObserver>);
+
+        conn.add_flow(FlowMatch::in_port(PortNo(1)), 10, vec![], 0xa)
+            .unwrap();
+        conn.send_flow_mods(&[
+            FlowMod::add(FlowMatch::in_port(PortNo(2)), 10, vec![]).with_cookie(0xb),
+            FlowMod::add(FlowMatch::in_port(PortNo(3)), 10, vec![]).with_cookie(0xc),
+        ])
+        .unwrap();
+        assert_eq!(
+            *rec.logged.lock().unwrap(),
+            vec![(1, 0xa), (2, 0xb), (3, 0xc)]
+        );
+
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            pump_switch(&sw);
+            sw
+        });
+        conn.barrier(Duration::from_secs(2)).unwrap();
+        drop(t.join().unwrap());
+        assert_eq!(*rec.retired.lock().unwrap(), vec![3]);
+        assert_eq!(conn.unacked_flow_mods(), 0);
     }
 
     #[test]

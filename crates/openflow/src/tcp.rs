@@ -1,0 +1,160 @@
+//! A real TCP [`Transport`] over std networking.
+//!
+//! [`TcpTransport`] wraps a non-blocking [`std::net::TcpStream`] in the
+//! byte-stream contract the rest of the control channel already speaks:
+//! `WouldBlock` becomes the would-block `Ok(0)`, a zero-length read (the
+//! peer closed its end) becomes [`OfError::Disconnected`], and partial
+//! writes surface exactly as they do on a saturated socket. Everything
+//! above — [`crate::framer::Framer`], [`crate::connection::Connection`],
+//! [`crate::controller::SwitchLink`] — runs unchanged, which is the point:
+//! the in-memory transports and the socket differ only in who moves the
+//! bytes.
+//!
+//! Tests bind to `127.0.0.1:0` (an ephemeral loopback port) so nothing
+//! ever listens on an outside interface.
+
+use crate::transport::Transport;
+use crate::{OfError, Result};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+/// A [`Transport`] over a connected TCP stream.
+///
+/// The stream is switched to non-blocking mode and `TCP_NODELAY` is set
+/// (control messages are latency-sensitive and tiny; Nagle would batch
+/// a flow-mod against its own barrier).
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` and prepares the stream for non-blocking use.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpTransport> {
+        TcpTransport::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Adopts an already-connected stream (e.g. from an acceptor).
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<TcpTransport> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream })
+    }
+
+    /// The local socket address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.local_addr()
+    }
+
+    /// The peer's socket address.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// A second handle onto the same socket — lets a test keep the power
+    /// to `shutdown(2)` the stream after the transport is boxed away
+    /// (simulating a controller process dying mid-write).
+    pub fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, buf: &[u8]) -> Result<usize> {
+        match (&self.stream).write(buf) {
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(0),
+            Err(_) => Err(OfError::Disconnected),
+        }
+    }
+
+    fn recv(&self, buf: &mut [u8]) -> Result<usize> {
+        match (&self.stream).read(buf) {
+            // An orderly zero-length read is EOF: the peer closed.
+            Ok(0) => Err(OfError::Disconnected),
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(0),
+            Err(_) => Err(OfError::Disconnected),
+        }
+    }
+}
+
+/// Binds an ephemeral loopback listener and returns it with its address —
+/// the standard opening move of every TCP test and of a switch exposing a
+/// control port.
+pub fn loopback_listener() -> std::io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    Ok((listener, addr))
+}
+
+/// A connected loopback transport pair `(client, server)` — the TCP
+/// equivalent of [`crate::transport::loopback`], for tests that want real
+/// socket semantics (kernel buffering, partial writes at real
+/// boundaries).
+pub fn tcp_pair() -> std::io::Result<(TcpTransport, TcpTransport)> {
+    let (listener, addr) = loopback_listener()?;
+    let client = TcpStream::connect(addr)?;
+    let (server, _) = listener.accept()?;
+    Ok((
+        TcpTransport::from_stream(client)?,
+        TcpTransport::from_stream(server)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_pair_moves_bytes_both_ways() {
+        let (a, b) = tcp_pair().unwrap();
+        assert_eq!(a.send(b"hello").unwrap(), 5);
+        let mut buf = [0u8; 16];
+        let mut got = 0;
+        while got < 5 {
+            got += b.recv(&mut buf[got..]).unwrap();
+        }
+        assert_eq!(&buf[..5], b"hello");
+        assert_eq!(b.send(b"yo").unwrap(), 2);
+        got = 0;
+        while got < 2 {
+            got += a.recv(&mut buf[got..]).unwrap();
+        }
+        assert_eq!(&buf[..2], b"yo");
+        // Nothing more in flight: would-block, not error.
+        assert_eq!(a.recv(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn tcp_peer_close_surfaces_as_disconnected() {
+        let (a, b) = tcp_pair().unwrap();
+        a.send(b"bye").unwrap();
+        drop(a);
+        let mut buf = [0u8; 16];
+        // Delivered bytes drain first, then EOF.
+        let mut got = 0;
+        loop {
+            match b.recv(&mut buf[got..]) {
+                Ok(0) => std::thread::yield_now(),
+                Ok(n) => {
+                    got += n;
+                    if got >= 3 {
+                        break;
+                    }
+                }
+                Err(e) => panic!("lost delivered bytes: {e}"),
+            }
+        }
+        assert_eq!(&buf[..3], b"bye");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match b.recv(&mut buf) {
+                Err(OfError::Disconnected) => break,
+                Ok(0) if std::time::Instant::now() < deadline => std::thread::yield_now(),
+                other => panic!("expected Disconnected, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Framer behaviour over the *real* TCP transport: the loopback-socket
+//! twin of `wire_fuzz.rs`. Same properties — arbitrary chunkings
+//! reassemble, desync poisons permanently — but with the chunk
+//! boundaries produced by actual nonblocking socket writes and
+//! deliberately tiny reads, so partial I/O happens where the kernel
+//! decides, not where a test harness does.
+
+use openflow::codec::{decode, encode};
+use openflow::messages::{OfpMessage, PacketIn, PacketInReason};
+use openflow::{
+    tcp_pair, Action, FlowMatch, FlowMod, Framer, OfError, PortNo, SwitchLink, Transport,
+};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+/// A deterministic valid message picked by `seed` (mirrors `wire_fuzz`).
+fn message(seed: u64) -> OfpMessage {
+    match seed % 7 {
+        0 => OfpMessage::Hello,
+        1 => OfpMessage::EchoRequest((0..(seed % 16)).map(|b| b as u8).collect()),
+        2 => OfpMessage::BarrierRequest,
+        3 => OfpMessage::FeaturesRequest,
+        4 => OfpMessage::FlowMod(
+            FlowMod::add(
+                FlowMatch::in_port(PortNo((seed % 64) as u16 + 1)),
+                (seed % 500) as u16,
+                vec![Action::Output(PortNo((seed % 48) as u16 + 1))],
+            )
+            .with_cookie(seed),
+        ),
+        5 => OfpMessage::PacketIn(PacketIn {
+            in_port: PortNo((seed % 32) as u16 + 1),
+            reason: PacketInReason::NoMatch,
+            data: (0..(seed % 40)).map(|b| (b * 7) as u8).collect(),
+        }),
+        _ => OfpMessage::BarrierReply,
+    }
+}
+
+/// Encodes `seeds` into one stream; returns the bytes, the per-frame
+/// start offsets, and the expected `(message, xid)` sequence.
+fn stream_of(seeds: &[u64]) -> (Vec<u8>, Vec<usize>, Vec<(OfpMessage, u32)>) {
+    let mut bytes = Vec::new();
+    let mut offsets = Vec::new();
+    let mut expect = Vec::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        let msg = message(s);
+        let xid = 1000 + i as u32;
+        offsets.push(bytes.len());
+        bytes.extend_from_slice(&encode(&msg, xid));
+        expect.push((msg, xid));
+    }
+    (bytes, offsets, expect)
+}
+
+/// Writes `bytes` through the transport in xorshift-sized chunks,
+/// retrying on backpressure — every socket write boundary becomes a
+/// potential partial frame on the reader side.
+fn send_chunked(t: &dyn Transport, bytes: &[u8], mut rng: u64) {
+    let mut pos = 0;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while pos < bytes.len() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let take = (1 + (rng % 13) as usize).min(bytes.len() - pos);
+        match t.send(&bytes[pos..pos + take]) {
+            Ok(0) => std::thread::yield_now(), // kernel buffer full; retry
+            Ok(n) => pos += n,
+            Err(e) => panic!("send over healthy socket failed: {e:?}"),
+        }
+        assert!(Instant::now() < deadline, "send stalled");
+    }
+}
+
+proptest! {
+    // TCP pairs are heavier than in-memory buffers; fewer cases suffice
+    // because the kernel adds its own boundary randomness per run.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any chunking of a valid stream, pushed through a real socket and
+    /// drained with a deliberately tiny read buffer, reassembles to the
+    /// identical message sequence.
+    #[test]
+    fn reassembles_across_real_socket_boundaries(
+        seeds in proptest::collection::vec(0u64..10_000, 1..8),
+        chunk_seed in proptest::num::u64::ANY,
+    ) {
+        let (bytes, _, expect) = stream_of(&seeds);
+        let (tx, rx) = tcp_pair().expect("loopback TCP pair");
+        send_chunked(&tx, &bytes, chunk_seed | 1);
+
+        let mut framer = Framer::new();
+        let mut got = Vec::new();
+        let mut chunk = [0u8; 5]; // tiny reads: frames always span reads
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got.len() < expect.len() {
+            prop_assert!(Instant::now() < deadline, "stream never completed");
+            match rx.recv(&mut chunk) {
+                Ok(0) => std::thread::yield_now(),
+                Ok(n) => framer.push(&chunk[..n]),
+                Err(e) => prop_assert!(false, "recv failed mid-stream: {e:?}"),
+            }
+            while let Some(frame) = framer.poll_frame().expect("valid stream") {
+                got.push(decode(&frame).expect("frame of a valid stream decodes"));
+            }
+        }
+        prop_assert_eq!(framer.buffered(), 0);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// A corrupted version byte anywhere in the stream poisons the
+    /// reader's framing permanently — even when the corruption arrives
+    /// split across socket reads: frames before it decode, the desync
+    /// error surfaces exactly once, and afterwards the link reports
+    /// `Disconnected` forever (it must not spin or resync mid-garbage).
+    #[test]
+    fn desync_poisons_switch_link_over_tcp(
+        seeds in proptest::collection::vec(0u64..10_000, 1..6),
+        victim_seed in proptest::num::u64::ANY,
+        chunk_seed in proptest::num::u64::ANY,
+    ) {
+        let (mut bytes, offsets, expect) = stream_of(&seeds);
+        let victim = (victim_seed % offsets.len() as u64) as usize;
+        bytes[offsets[victim]] = 0x42; // not OpenFlow 1.0's version byte
+
+        let (tx, rx) = tcp_pair().expect("loopback TCP pair");
+        send_chunked(&tx, &bytes, chunk_seed | 1);
+
+        let link = SwitchLink::new(Box::new(rx));
+        let mut ok = Vec::new();
+        let mut first_err = None;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while first_err.is_none() {
+            prop_assert!(Instant::now() < deadline, "poison never surfaced");
+            match link.try_recv() {
+                None => std::thread::yield_now(),
+                Some(Ok(pair)) => ok.push(pair),
+                Some(Err(e)) => first_err = Some(e),
+            }
+        }
+        // Everything before the victim frame was delivered intact.
+        prop_assert_eq!(&ok, &expect[..victim]);
+        prop_assert_eq!(first_err, Some(OfError::BadVersion(0x42)));
+        // Poisoned means down for good, reported as a dead peer.
+        for _ in 0..3 {
+            prop_assert_eq!(link.try_recv(), Some(Err(OfError::Disconnected)));
+        }
+    }
+}

@@ -76,6 +76,10 @@ pub struct VSwitchd {
     ofproto: Arc<Ofproto>,
     stop: Arc<AtomicBool>,
     threads: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    /// Control-port acceptor threads (see `listen_controller`), joined on
+    /// `stop` — kept apart from `threads` so a listener can be opened
+    /// before or after `start`.
+    listeners: parking_lot::Mutex<Vec<JoinHandle<()>>>,
     housekeeping: Duration,
     pmd_threads: usize,
     doorbell_coalesce: usize,
@@ -92,6 +96,7 @@ impl VSwitchd {
             ofproto,
             stop: Arc::new(AtomicBool::new(false)),
             threads: parking_lot::Mutex::new(Vec::new()),
+            listeners: parking_lot::Mutex::new(Vec::new()),
             housekeeping: config.housekeeping_interval,
             pmd_threads: config.pmd_threads.max(1),
             doorbell_coalesce: config.doorbell_coalesce,
@@ -169,6 +174,39 @@ impl VSwitchd {
     /// Attaches the controller link.
     pub fn attach_controller(&self, link: SwitchLink) {
         self.ofproto.attach_controller(link);
+    }
+
+    /// Opens a TCP control port on an ephemeral loopback address and
+    /// returns it. An acceptor thread attaches each accepted connection
+    /// as the controller link — a newly dialling controller (initial
+    /// connect, restart, or a standby taking over) simply replaces the
+    /// previous link, exactly like `attach_controller`.
+    pub fn listen_controller(&self) -> std::io::Result<std::net::SocketAddr> {
+        let (listener, addr) = openflow::loopback_listener()?;
+        listener.set_nonblocking(true)?;
+        let ofproto = Arc::clone(&self.ofproto);
+        let stop = Arc::clone(&self.stop);
+        self.listeners.lock().push(
+            std::thread::Builder::new()
+                .name(format!("ovs-of-listen-{}", addr.port()))
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                if let Ok(t) = openflow::TcpTransport::from_stream(stream) {
+                                    ofproto.attach_controller(SwitchLink::new(Box::new(t)));
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                })
+                .expect("spawn control-port acceptor"),
+        );
+        Ok(addr)
     }
 
     /// Registers a flow-table observer (the p-2-p detector hook).
@@ -255,6 +293,9 @@ impl VSwitchd {
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Release);
         for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        for t in self.listeners.lock().drain(..) {
             let _ = t.join();
         }
     }

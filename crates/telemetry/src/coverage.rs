@@ -29,7 +29,8 @@ thread_local! {
     static LOCAL: RefCell<HashMap<&'static str, CellHandle>> = RefCell::new(HashMap::new());
 }
 
-/// Adds `n` to the named coverage counter. Prefer the [`coverage!`] macro.
+/// Adds `n` to the named coverage counter. Prefer the
+/// [`coverage!`](macro@crate::coverage) macro.
 ///
 /// The fast path (cell already created by this thread) is one thread-local
 /// hash probe plus a relaxed add on a cell no other thread writes; the slow

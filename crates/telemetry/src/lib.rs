@@ -3,8 +3,9 @@
 //!
 //! Four pieces, each usable on its own:
 //!
-//! - [`coverage`] — named event counters bumpable from any crate via the
-//!   [`coverage!`] macro, sharded per-thread so PMDs never contend,
+//! - [`coverage`](mod@coverage) — named event counters bumpable from any
+//!   crate via the [`coverage!`] macro, sharded per-thread so PMDs never
+//!   contend,
 //!   aggregated on read (`coverage/show`).
 //! - [`PmdPerf`] — one per-PMD block of counters plus cycle-denominated
 //!   [`LatencyHistogram`]s per pipeline [`Stage`] and cache [`Tier`],

@@ -5,7 +5,7 @@
 //! tier. The block lives inside the PMD's own per-thread state (in the
 //! reproduction: inside `PmdCaches`, behind the PMD's uncontended mutex),
 //! so the hot path never shares a cache line with another PMD; operator
-//! reads clone the block into a [`crate::snapshot::PmdSnapshot`].
+//! reads clone the block into a [`crate::snapshot::TelemetrySnapshot`].
 //!
 //! The stage decomposition mirrors Sattar & Matrawy's empirical OVS delay
 //! model (rx → classification tier → actions → tx), extended with the

@@ -12,7 +12,7 @@
 //! [`install_event_bridge`] closes the layering gap downward: `dpdk-sim`
 //! sits below this crate, so its exceptional-path events (alloc failures,
 //! foreign frees, COW detaches) are emitted through `dpdk_sim::events` and
-//! forwarded here into [`crate::coverage`] counters.
+//! forwarded here into [`crate::coverage`](mod@crate::coverage) counters.
 
 use dpdk_sim::{Arena, Mempool, WeakArena, WeakMempool};
 use parking_lot::Mutex;
@@ -197,7 +197,8 @@ fn event_bridge(name: &'static str, n: u64) {
     crate::coverage::add(name, n);
 }
 
-/// Installs the `dpdk_sim::events` → [`crate::coverage`] bridge, so
+/// Installs the `dpdk_sim::events` → [`crate::coverage`](mod@crate::coverage)
+/// bridge, so
 /// exceptional pool events ("mempool_foreign_free", "arena_alloc_failure",
 /// "arena_cow_detach", ...) show up as coverage counters. Idempotent —
 /// the hook is first-set-wins and this always offers the same function.

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Fails if any markdown link in README.md or docs/*.md points at a file
+# that does not exist. Relative links are resolved against the file that
+# contains them; absolute URLs and pure #anchors are skipped. Keeps the
+# doc book honest: a renamed chapter or crate path breaks CI, not a
+# reader.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+    dir=$(dirname "$doc")
+    # Every inline-link target: [text](target)
+    while IFS= read -r target; do
+        case "$target" in
+            http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path=${target%%#*} # strip any anchor
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "DEAD LINK: $doc -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "dead documentation links found" >&2
+    exit 1
+fi
+echo "doc links OK"

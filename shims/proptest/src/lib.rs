@@ -108,7 +108,7 @@ pub mod strategy {
         }
 
         /// Type-erase for use in heterogeneous collections
-        /// (e.g. [`prop_oneof!`]).
+        /// (e.g. [`prop_oneof!`](crate::prop_oneof)).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -154,7 +154,8 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed strategies; backs [`prop_oneof!`].
+    /// Uniform choice among boxed strategies; backs
+    /// [`prop_oneof!`](crate::prop_oneof).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }

@@ -21,7 +21,90 @@
 //! * [`telemetry`] — coverage counters, per-PMD perf blocks, latency
 //!   histograms and the appctl/Prometheus introspection surface.
 //!
-//! Start with [`highway::HighwayNode`] — see `examples/quickstart.rs`.
+//! Start with [`highway::HighwayNode`] — see `examples/quickstart.rs`,
+//! and `docs/architecture.md` in the repository for the full layer map.
+//!
+//! # Quickstart
+//!
+//! A highway node is a whole server: vSwitch, shared-memory registry,
+//! compute agent and the highway manager. Boot one, attach an ordinary
+//! OpenFlow controller over the framed control channel, and install a
+//! rule — the switch end is real `ofproto`, so barriers fence and flow
+//! stats answer:
+//!
+//! ```
+//! use std::time::Duration;
+//! use vnf_highway::prelude::*;
+//!
+//! let node = HighwayNode::new(HighwayNodeConfig::default());
+//! node.start();
+//!
+//! // `connect_controller()` hands back the controller end of a framed
+//! // OpenFlow 1.0 byte stream (use `listen_controller()` for real TCP).
+//! let ctrl = node.connect_controller();
+//! ctrl.add_flow(
+//!     FlowMatch::in_port(PortNo(1)),
+//!     100,
+//!     vec![Action::Output(PortNo(2))],
+//!     0xc0ffee,
+//! )
+//! .expect("flow mod accepted");
+//! ctrl.barrier(Duration::from_secs(5)).expect("switch committed");
+//!
+//! let stats = ctrl.flow_stats(Duration::from_secs(5)).expect("stats");
+//! assert_eq!(stats.len(), 1);
+//! assert_eq!(stats[0].cookie, 0xc0ffee);
+//! node.stop();
+//! ```
+//!
+//! # Writing a controller app
+//!
+//! Policy plugs in behind [`openflow::ControllerApp`] (or
+//! [`openflow::FabricApp`] for one-controller-N-switches); the runtime
+//! owns the connection, drives the handshake and redelivers
+//! `on_connected` after every reconnect, so an idempotent install there
+//! survives controller restarts for free:
+//!
+//! ```
+//! use std::time::Duration;
+//! use vnf_highway::openflow::{
+//!     Connection, ControllerApp, ControllerRuntime, OfpMessage, SwitchFeatures,
+//! };
+//! use vnf_highway::prelude::*;
+//!
+//! /// Mirrors port 1 to port 2, re-asserting the rule on every
+//! /// (re)connect — OpenFlow 1.0 `Add` replaces, so this is idempotent.
+//! struct PortMirror {
+//!     installs: u32,
+//! }
+//!
+//! impl ControllerApp for PortMirror {
+//!     fn on_connected(&mut self, conn: &Connection, features: &SwitchFeatures) {
+//!         assert_ne!(features.datapath_id, 0, "switch identified itself");
+//!         conn.add_flow(
+//!             FlowMatch::in_port(PortNo(1)),
+//!             50,
+//!             vec![Action::Output(PortNo(2))],
+//!             0xbeef,
+//!         )
+//!         .expect("install");
+//!         conn.barrier(Duration::from_secs(5)).expect("fence");
+//!         self.installs += 1;
+//!     }
+//!
+//!     fn on_message(&mut self, _conn: &Connection, _msg: OfpMessage, _xid: u32) {
+//!         // packet-ins, port-status, flow-removed arrive here
+//!     }
+//! }
+//!
+//! let node = HighwayNode::new(HighwayNodeConfig::default());
+//! node.start();
+//!
+//! let mut rt = ControllerRuntime::new(node.connect_controller(), PortMirror { installs: 0 });
+//! rt.run_until_ready(Duration::from_secs(5)).expect("handshake");
+//! assert_eq!(rt.app().installs, 1);
+//! node.stop();
+//! ```
 
 pub use dpdk_sim as dpdk;
 pub use highway_core as highway;
